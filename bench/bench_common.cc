@@ -1,0 +1,81 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace agb::bench {
+
+Config parse_cli(int argc, char** argv) {
+  Config cfg;
+  std::string error;
+  if (!cfg.parse_args(argc, argv, &error)) {
+    std::fprintf(stderr, "usage: %s [key=value ...]\n%s\n", argv[0],
+                 error.c_str());
+    std::exit(2);
+  }
+  return cfg;
+}
+
+core::ScenarioParams paper_params(const Config& cfg) {
+  core::ScenarioParams p;
+  p.n = static_cast<std::size_t>(cfg.get_int("n", 60));
+  p.senders = static_cast<std::size_t>(cfg.get_int("senders", 4));
+  p.offered_rate = cfg.get_double("rate", 30.0);
+  p.payload_size = static_cast<std::size_t>(cfg.get_int("payload", 16));
+  p.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  p.gossip.fanout = static_cast<std::size_t>(cfg.get_int("fanout", 4));
+  p.gossip.gossip_period = cfg.get_int("period_ms", 2000);
+  p.gossip.max_events = static_cast<std::size_t>(cfg.get_int("buffer", 120));
+  p.gossip.max_event_ids =
+      static_cast<std::size_t>(cfg.get_int("event_ids", 4000));
+  p.gossip.max_age =
+      static_cast<std::uint32_t>(cfg.get_int("max_age", 12));
+
+  p.adaptation.sample_period =
+      cfg.get_int("tau_ms", 2 * p.gossip.gossip_period);
+  p.adaptation.min_buff_window =
+      static_cast<std::size_t>(cfg.get_int("window", 2));
+  p.adaptation.alpha = cfg.get_double("alpha", 0.9);
+  p.adaptation.critical_age = cfg.get_double("critical_age", kCriticalAge);
+  p.adaptation.low_age_mark =
+      cfg.get_double("low_mark", p.adaptation.critical_age - 0.5);
+  p.adaptation.high_age_mark =
+      cfg.get_double("high_mark", p.adaptation.critical_age + 0.5);
+  p.adaptation.decrease_factor = cfg.get_double("delta_d", 0.1);
+  p.adaptation.increase_factor = cfg.get_double("delta_i", 0.1);
+  p.adaptation.increase_probability = cfg.get_double("gamma", 0.1);
+  p.adaptation.bucket_capacity = cfg.get_double("bucket", 8.0);
+  p.adaptation.initial_rate =
+      cfg.get_double("initial_rate",
+                     p.offered_rate / static_cast<double>(p.senders));
+  p.adaptation.idle_age_boost = cfg.get_bool("idle_age_boost", true);
+
+  const bool quick = cfg.get_bool("quick", false);
+  p.warmup = cfg.get_int("warmup_s", quick ? 20 : 40) * 1000;
+  p.duration = cfg.get_int("duration_s", quick ? 60 : 150) * 1000;
+  p.cooldown = cfg.get_int("cooldown_s", 30) * 1000;
+  return p;
+}
+
+void print_banner(const std::string& figure, const std::string& description,
+                  const core::ScenarioParams& params) {
+  std::printf("== %s: %s ==\n", figure.c_str(), description.c_str());
+  std::printf(
+      "config: n=%zu senders=%zu fanout=%zu T=%lldms tau=%lldms "
+      "max_age=%u seed=%llu eval=%llds\n\n",
+      params.n, params.senders, params.gossip.fanout,
+      static_cast<long long>(params.gossip.gossip_period),
+      static_cast<long long>(params.adaptation.sample_period),
+      params.gossip.max_age, static_cast<unsigned long long>(params.seed),
+      static_cast<long long>(params.duration / 1000));
+}
+
+void warn_unused(const Config& cfg) {
+  for (const auto& key : cfg.unused_keys()) {
+    std::fprintf(stderr, "warning: unknown option '%s' ignored\n",
+                 key.c_str());
+  }
+}
+
+}  // namespace agb::bench

@@ -1,0 +1,44 @@
+// Shared experiment configuration for the figure-reproduction benches.
+//
+// Every bench binary reproduces one figure of the paper on the calibrated
+// "paper60" configuration: 60 nodes, fanout 4, and a 2 s gossip period —
+// the period at which this substrate's capacity knee lands at the paper's
+// buffer-size axis (≈120 events at 30 msg/s; see EXPERIMENTS.md for the
+// calibration). Benches accept key=value overrides, e.g.:
+//
+//   fig8_reliability seed=7 duration_s=60 quick=1
+//
+// `quick=1` shortens runs for smoke-testing; reported numbers then carry
+// more noise.
+#pragma once
+
+#include <string>
+
+#include "common/config.h"
+#include "core/scenario.h"
+
+namespace agb::bench {
+
+/// The calibrated critical age a_r of the paper60 configuration (hops),
+/// under the bimodal-atomicity criterion the adaptive marks target.
+/// Regenerate with bench/fig4_max_rate, which prints the knee ages under
+/// both criteria (avg-receivers: 5.60 +- 0.10; atomicity: 7.98 +- 0.28).
+inline constexpr double kCriticalAge = 8.0;
+
+/// Builds the paper60 scenario configuration with overrides from `cfg`.
+/// Recognised keys: seed, n, senders, fanout, period_ms, buffer, rate,
+/// max_age, event_ids, warmup_s, duration_s, cooldown_s, quick,
+/// low_mark, high_mark, tau_ms, window, alpha, gamma, delta.
+core::ScenarioParams paper_params(const Config& cfg);
+
+/// Parses argv into a Config; exits with a usage message on bad input.
+Config parse_cli(int argc, char** argv);
+
+/// Prints the standard bench banner.
+void print_banner(const std::string& figure, const std::string& description,
+                  const core::ScenarioParams& params);
+
+/// Warns about unknown keys (typos) after a bench consumed its options.
+void warn_unused(const Config& cfg);
+
+}  // namespace agb::bench

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 7: input rate (a), output rate (b) and average
+// age of dropped messages (c), for lpbcast vs the adaptive variant, as
+// every node's buffer shrinks under a constant 30 msg/s offered load.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace agb;
+  auto cfg = bench::parse_cli(argc, argv);
+  auto base = bench::paper_params(cfg);
+
+  bench::print_banner(
+      "Figure 7", "rates and drop ages, lpbcast vs adaptive (30 msg/s)",
+      base);
+
+  metrics::Table table({"buffer_msgs",                       //
+                        "in_lpbcast", "in_adaptive",         // Fig. 7(a)
+                        "out_lpbcast", "out_adaptive",       // Fig. 7(b)
+                        "dropage_lpbcast", "dropage_adaptive"});  // Fig. 7(c)
+  for (std::size_t buffer : {30u, 60u, 90u, 120u, 150u, 180u}) {
+    auto lp = base;
+    lp.adaptive = false;
+    lp.gossip.max_events = buffer;
+    core::Scenario lp_scenario(lp);
+    auto lp_r = lp_scenario.run();
+
+    auto ad = base;
+    ad.adaptive = true;
+    ad.gossip.max_events = buffer;
+    core::Scenario ad_scenario(ad);
+    auto ad_r = ad_scenario.run();
+
+    table.add_numeric_row({static_cast<double>(buffer),       //
+                           lp_r.input_rate, ad_r.input_rate,  //
+                           lp_r.output_rate, ad_r.output_rate,
+                           lp_r.avg_drop_age, ad_r.avg_drop_age},
+                          2);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper shape: lpbcast input stays at the offered load and its "
+      "output collapses with small buffers\nwhile its drop age falls; the "
+      "adaptive variant keeps input == output (no loss) and holds the\n"
+      "drop age near the critical value.\n");
+  bench::warn_unused(cfg);
+  return 0;
+}

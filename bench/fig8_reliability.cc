@@ -1,0 +1,49 @@
+// Reproduces paper Figure 8: average % of receivers per message (a) and
+// % of messages delivered to >95 % of the group (b) — "atomicity" — for
+// lpbcast vs adaptive under a constant 30 msg/s offered load and shrinking
+// buffers.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace agb;
+  auto cfg = bench::parse_cli(argc, argv);
+  auto base = bench::paper_params(cfg);
+
+  bench::print_banner("Figure 8",
+                      "reliability, lpbcast vs adaptive (30 msg/s)", base);
+
+  metrics::Table table({"buffer_msgs",                      //
+                        "recv_lpbcast", "recv_adaptive",    // Fig. 8(a)
+                        "atomic_lpbcast", "atomic_adaptive"});  // Fig. 8(b)
+  for (std::size_t buffer : {30u, 60u, 90u, 120u, 150u, 180u}) {
+    auto lp = base;
+    lp.adaptive = false;
+    lp.gossip.max_events = buffer;
+    core::Scenario lp_scenario(lp);
+    auto lp_r = lp_scenario.run();
+
+    auto ad = base;
+    ad.adaptive = true;
+    ad.gossip.max_events = buffer;
+    core::Scenario ad_scenario(ad);
+    auto ad_r = ad_scenario.run();
+
+    table.add_numeric_row(
+        {static_cast<double>(buffer), lp_r.delivery.avg_receiver_pct,
+         ad_r.delivery.avg_receiver_pct, lp_r.delivery.atomicity_pct,
+         ad_r.delivery.atomicity_pct},
+        2);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper shape: adaptive holds both metrics near 100%% across the "
+      "sweep; lpbcast degrades\nbelow the capacity knee, with atomicity "
+      "collapsing much faster than average receivers\n(bimodal guarantee "
+      "lost first).\n");
+  bench::warn_unused(cfg);
+  return 0;
+}

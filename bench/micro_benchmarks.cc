@@ -1,0 +1,155 @@
+// Hot-path micro-benchmarks (google-benchmark): wire codec, event buffer
+// operations, estimators, RNG and the end-to-end simulated round. These
+// guard the constants behind the figure benches — a regression here shows
+// up as minutes of extra wall time in the sweeps.
+#include <benchmark/benchmark.h>
+
+#include "adaptive/congestion_estimator.h"
+#include "adaptive/minbuff_estimator.h"
+#include "common/rng.h"
+#include "core/scenario.h"
+#include "gossip/event_buffer.h"
+#include "gossip/message.h"
+
+namespace {
+
+using namespace agb;
+
+gossip::GossipMessage make_message(std::size_t events,
+                                   std::size_t payload_size) {
+  gossip::GossipMessage m;
+  m.sender = 3;
+  m.round = 17;
+  m.period = 2;
+  m.min_buff = 60;
+  for (std::size_t i = 0; i < events; ++i) {
+    gossip::Event e;
+    e.id = EventId{static_cast<NodeId>(i % 60), i};
+    e.age = static_cast<std::uint32_t>(i % 12);
+    e.created_at = static_cast<TimeMs>(i);
+    e.payload = gossip::make_payload(
+        std::vector<std::uint8_t>(payload_size, 0x5a));
+    m.events.push_back(std::move(e));
+  }
+  return m;
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  const auto m = make_message(static_cast<std::size_t>(state.range(0)), 16);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = m.encode();
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MessageEncode)->Arg(30)->Arg(120)->Arg(500);
+
+void BM_MessageDecode(benchmark::State& state) {
+  const auto bytes =
+      make_message(static_cast<std::size_t>(state.range(0)), 16).encode();
+  for (auto _ : state) {
+    auto decoded = gossip::GossipMessage::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MessageDecode)->Arg(30)->Arg(120)->Arg(500);
+
+void BM_EventBufferInsertShrink(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seq = 0;
+  gossip::EventBuffer buf;
+  for (auto _ : state) {
+    gossip::Event e;
+    e.id = EventId{1, seq++};
+    e.age = static_cast<std::uint32_t>(seq % 12);
+    buf.insert(std::move(e));
+    auto dropped = buf.shrink_to(capacity);
+    benchmark::DoNotOptimize(dropped);
+  }
+}
+BENCHMARK(BM_EventBufferInsertShrink)->Arg(60)->Arg(180);
+
+void BM_EventBufferSnapshot(benchmark::State& state) {
+  gossip::EventBuffer buf;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(state.range(0));
+       ++i) {
+    gossip::Event e;
+    e.id = EventId{1, i};
+    buf.insert(std::move(e));
+  }
+  for (auto _ : state) {
+    auto snapshot = buf.snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_EventBufferSnapshot)->Arg(60)->Arg(180);
+
+void BM_CongestionEstimatorObserve(benchmark::State& state) {
+  gossip::EventBuffer buf;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    gossip::Event e;
+    e.id = EventId{1, i};
+    e.age = static_cast<std::uint32_t>(i % 12);
+    buf.insert(std::move(e));
+  }
+  adaptive::CongestionEstimator est(0.9, 5.0);
+  for (auto _ : state) {
+    est.observe(buf, static_cast<std::size_t>(state.range(0)));
+    est.prune(buf);
+    benchmark::DoNotOptimize(est.avg_age());
+  }
+}
+BENCHMARK(BM_CongestionEstimatorObserve)->Arg(60)->Arg(180);
+
+void BM_MinBuffEstimatorHeader(benchmark::State& state) {
+  adaptive::MinBuffEstimator est(2, 120);
+  Rng rng(1);
+  PeriodId period = 0;
+  for (auto _ : state) {
+    est.on_header(period, static_cast<std::uint32_t>(30 + rng.next_below(90)));
+    if (rng.bernoulli(0.01)) est.advance_to(++period);
+    benchmark::DoNotOptimize(est.estimate());
+  }
+}
+BENCHMARK(BM_MinBuffEstimatorHeader);
+
+void BM_RngSampleIndices(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    auto sample = rng.sample_indices(60, 4);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_RngSampleIndices);
+
+void BM_SimulatedSecond(benchmark::State& state) {
+  // Cost of one virtual second of the full 60-node simulation, codec and
+  // network model included (the unit the figure benches are made of).
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ScenarioParams p;
+    p.n = 60;
+    p.senders = 4;
+    p.offered_rate = 30.0;
+    p.adaptive = state.range(0) == 1;
+    p.gossip.gossip_period = 2000;
+    p.gossip.max_events = 120;
+    p.warmup = 0;
+    p.duration = 1000;
+    p.cooldown = 0;
+    core::Scenario s(p);
+    state.ResumeTiming();
+    auto r = s.run();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SimulatedSecond)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+#include "adaptive/congestion_estimator.h"
+
+#include <vector>
+
+namespace agb::adaptive {
+
+CongestionEstimator::CongestionEstimator(double alpha, double initial_age)
+    : avg_age_(alpha, initial_age) {}
+
+void CongestionEstimator::observe(const gossip::EventBuffer& events,
+                                  std::size_t min_buff) {
+  // "while |events - lost| > minBuff: select oldest element e from
+  //  events - lost; avgAge <- alpha*avgAge + (1-alpha)*e.age; lost += {e}"
+  while (events.count_excluding(lost_) > min_buff) {
+    const gossip::Event* oldest = events.oldest_excluding(lost_);
+    if (oldest == nullptr) break;  // defensive; cannot happen if count > 0
+    avg_age_.add(static_cast<double>(oldest->age));
+    lost_.insert(oldest->id);
+  }
+}
+
+void CongestionEstimator::prune(const gossip::EventBuffer& events) {
+  std::vector<EventId> dead;
+  dead.reserve(lost_.size());
+  for (const EventId& id : lost_) {
+    if (!events.contains(id)) dead.push_back(id);
+  }
+  for (const EventId& id : dead) lost_.erase(id);
+}
+
+}  // namespace agb::adaptive

@@ -1,0 +1,59 @@
+// Local estimation of congestion (paper Fig. 5(b)).
+//
+// Given minBuff (the estimated size of the smallest buffer in the group),
+// each node simulates the drops that a node with *exactly* minBuff slots
+// would be performing on the node's own traffic: whenever the set of
+// buffered events not yet accounted as "lost" exceeds minBuff, the oldest
+// such events are virtually discarded and their ages folded into the EWMA
+// avgAge. The node keeps using its full real buffer — the virtual drops are
+// pure accounting — so reliability still benefits from larger local buffers
+// (paper §3.2, validated by the dynamic-buffer experiment).
+#pragma once
+
+#include <unordered_set>
+
+#include "common/moving_average.h"
+#include "common/types.h"
+#include "gossip/event_buffer.h"
+
+namespace agb::adaptive {
+
+class CongestionEstimator {
+ public:
+  /// `alpha` weights history in the EWMA (paper: 0.9); `initial_age` seeds
+  /// avgAge so the controller is neutral before the first observation.
+  CongestionEstimator(double alpha, double initial_age);
+
+  /// Performs the virtual-drop accounting against the current buffer
+  /// contents. Call after inserting the events of a received gossip message
+  /// and before enforcing the real buffer bound.
+  void observe(const gossip::EventBuffer& events, std::size_t min_buff);
+
+  /// Forgets `lost` entries whose events are no longer buffered; call after
+  /// real garbage collection so the set stays bounded by the buffer size.
+  void prune(const gossip::EventBuffer& events);
+
+  /// Folds an "uncongested" pseudo-sample into avgAge. The paper's update
+  /// rule only fires on virtual drops, so a system with *no* drops at all
+  /// (deep under capacity) would freeze avgAge and never allow the rate to
+  /// grow; drivers call this once per drop-free round with the age-limit k
+  /// ("everything lives to full dissemination") to restore liveness. See
+  /// AdaptiveParams::idle_age_boost.
+  void idle_sample(double age) { avg_age_.add(age); }
+
+  [[nodiscard]] double avg_age() const noexcept { return avg_age_.value(); }
+  [[nodiscard]] std::size_t observations() const noexcept {
+    return avg_age_.samples();
+  }
+  [[nodiscard]] const std::unordered_set<EventId>& lost() const noexcept {
+    return lost_;
+  }
+
+  void reset(double initial_age) { avg_age_.reset(initial_age); }
+
+ private:
+  Ewma avg_age_;
+  std::unordered_set<EventId> lost_;
+};
+
+}  // namespace agb::adaptive

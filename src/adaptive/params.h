@@ -1,0 +1,66 @@
+// Configuration of the adaptation mechanism (paper §3.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace agb::adaptive {
+
+struct AdaptiveParams {
+  /// τ: length of a minBuff sample period. The paper recommends >= a_r * T
+  /// when a single node may hold the minimum; we default to 2*T (their
+  /// experimental choice scaled to our round length).
+  DurationMs sample_period = 2000;
+  /// W: number of sample periods (current included) whose minima are folded
+  /// into the operational minBuff estimate.
+  std::size_t min_buff_window = 2;
+  /// α: EWMA history weight for avgAge and avgTokens ("close to 1").
+  double alpha = 0.9;
+  /// a_r: the critical age — average drop age observed at the congestion
+  /// knee (paper: 5.3 hops in their setup; measured by bench/fig4_max_rate
+  /// for ours). Used to seed avgAge and to place the marks by default.
+  double critical_age = 4.5;
+  /// L: below this avgAge the system is congested -> decrease.
+  double low_age_mark = 4.0;
+  /// H: above this avgAge spare capacity exists -> increase (if used).
+  double high_age_mark = 5.0;
+  /// Δd: relative rate decrease per congested round.
+  double decrease_factor = 0.1;
+  /// Δi: relative rate increase per uncongested round.
+  double increase_factor = 0.1;
+  /// γ: probability a sender takes an allowed increase this round
+  /// (desynchronises simultaneous increases; paper: 0.1).
+  double increase_probability = 0.1;
+  /// avgTokens <= token_low_frac * capacity counts as "allowance fully
+  /// used" (precondition for increasing).
+  double token_low_frac = 0.5;
+  /// avgTokens >= token_high_frac * capacity counts as "allowance unused"
+  /// (forces a decrease, preventing inflated-allowance bursts).
+  double token_high_frac = 0.9;
+  /// Token bucket: initial allowed rate (msg/s) and burst capacity.
+  double initial_rate = 10.0;
+  double bucket_capacity = 8.0;
+  /// Clamp on the allowed rate.
+  double min_rate = 0.25;
+  double max_rate = 10000.0;
+  /// Robust-minimum extension (paper §6): adapt to the k-th smallest
+  /// distinct-node buffer instead of the absolute minimum, so one
+  /// pathological node cannot throttle the whole group. 1 = the paper's
+  /// baseline behaviour (plain minimum). Values > 1 add (node, capacity)
+  /// pairs to gossip headers (a few bytes per entry).
+  std::size_t robust_k = 1;
+  /// With robust_k > 1: capacities strictly below this are ignored as
+  /// outliers ("the k smaller buffers above a minimum threshold"). 0 = off.
+  std::uint32_t robust_floor = 0;
+
+  /// Liveness extension (not in the paper): when a whole gossip round
+  /// passes without a single virtual drop, feed the age limit k into avgAge
+  /// as an "uncongested" sample. Without it, a sender that never observes
+  /// drops (system deep below capacity) can never learn that the rate may
+  /// grow. Ablated in bench/ablation_adaptation.
+  bool idle_age_boost = true;
+};
+
+}  // namespace agb::adaptive

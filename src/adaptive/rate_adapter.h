@@ -1,0 +1,65 @@
+// Sender rate adjustment (paper Fig. 5(c)).
+//
+// Once per gossip round the sender compares the smoothed age of virtually
+// dropped messages (avgAge) with two marks around the critical age:
+//
+//   avgAge < L            -> congestion: multiplicative decrease by Δd.
+//   avgTokens high        -> allowance unused: decrease too, so an idle
+//                            sender cannot bank an inflated allowance and
+//                            later burst with it (paper §3.3).
+//   avgAge > H and
+//   avgTokens low         -> spare capacity and full usage: multiplicative
+//                            increase by Δi, taken only with probability γ
+//                            so that a large sender population does not
+//                            stampede from L to H and oscillate.
+#pragma once
+
+#include <algorithm>
+
+#include "adaptive/params.h"
+#include "common/rng.h"
+
+namespace agb::adaptive {
+
+class RateAdapter {
+ public:
+  RateAdapter(const AdaptiveParams& params, Rng rng) noexcept
+      : params_(params), rng_(rng), rate_(params.initial_rate) {}
+
+  /// One adaptation step; returns the new allowed rate (msg/s).
+  double update(double avg_age, double avg_tokens) noexcept {
+    const bool allowance_unused =
+        avg_tokens >= params_.token_high_frac * params_.bucket_capacity;
+    const bool allowance_fully_used =
+        avg_tokens <= params_.token_low_frac * params_.bucket_capacity;
+
+    if (avg_age < params_.low_age_mark || allowance_unused) {
+      rate_ *= (1.0 - params_.decrease_factor);
+      last_action_ = Action::kDecrease;
+    } else if (avg_age > params_.high_age_mark && allowance_fully_used &&
+               rng_.bernoulli(params_.increase_probability)) {
+      rate_ *= (1.0 + params_.increase_factor);
+      last_action_ = Action::kIncrease;
+    } else {
+      last_action_ = Action::kHold;
+    }
+    rate_ = std::clamp(rate_, params_.min_rate, params_.max_rate);
+    return rate_;
+  }
+
+  enum class Action { kHold, kDecrease, kIncrease };
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] Action last_action() const noexcept { return last_action_; }
+  void set_rate(double rate) noexcept {
+    rate_ = std::clamp(rate, params_.min_rate, params_.max_rate);
+  }
+
+ private:
+  AdaptiveParams params_;
+  Rng rng_;
+  double rate_;
+  Action last_action_ = Action::kHold;
+};
+
+}  // namespace agb::adaptive

@@ -1,0 +1,66 @@
+// Robust group-minimum discovery — the paper's §6 extension.
+//
+// Adapting to the single smallest buffer lets one pathological node drag
+// the whole group's throughput down. The paper proposes computing "not
+// only the smallest, but the k smaller buffers in the system (or the k
+// smaller buffers above a minimum threshold)". This estimator gossips the
+// k smallest (node, capacity) pairs per sample period — identities matter,
+// otherwise one node's value would be counted k times — and adapts to the
+// k-th smallest capacity, optionally ignoring capacities below a floor.
+// k = 1 and floor = 0 degenerate to the plain minimum of Fig. 5(a).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "gossip/message.h"
+
+namespace agb::adaptive {
+
+class RobustMinEstimator {
+ public:
+  /// `k`: adapt to the k-th smallest distinct-node capacity (>= 1).
+  /// `floor`: capacities strictly below this are treated as outliers and
+  /// ignored (0 = no floor). `window`: periods considered (current + W-1).
+  RobustMinEstimator(std::size_t k, std::uint32_t floor, std::size_t window,
+                     NodeId self, std::uint32_t local_capacity);
+
+  void set_local_capacity(std::uint32_t capacity);
+  void advance_to(PeriodId p);
+
+  /// Folds the min-set of a received header into the current period
+  /// (fast-forwarding to `p` if it is ahead; ignoring stale periods).
+  void on_entries(PeriodId p, std::span<const gossip::MinSetEntry> entries);
+
+  /// Entries to advertise in an outgoing header: the k smallest known for
+  /// the *current* period, always including this node itself.
+  [[nodiscard]] std::vector<gossip::MinSetEntry> header_entries() const;
+
+  /// The adaptation threshold: k-th smallest distinct-node capacity across
+  /// the window, after dropping below-floor outliers. Falls back to the
+  /// largest known (or the local capacity) when fewer than k are known.
+  [[nodiscard]] std::uint32_t estimate() const;
+
+  [[nodiscard]] PeriodId period() const noexcept { return period_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  using Entries = std::vector<gossip::MinSetEntry>;  // sorted by capacity
+
+  void merge_entry(Entries& entries, const gossip::MinSetEntry& entry) const;
+  void trim(Entries& entries) const;
+
+  std::size_t k_;
+  std::uint32_t floor_;
+  std::size_t window_;
+  NodeId self_;
+  std::uint32_t local_;
+  PeriodId period_ = 0;
+  Entries current_;
+  std::deque<Entries> history_;  // most recent completed first
+};
+
+}  // namespace agb::adaptive

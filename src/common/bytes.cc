@@ -1,0 +1,78 @@
+#include "common/bytes.h"
+
+namespace agb {
+
+void ByteWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::optional<std::uint8_t> ByteReader::u8() { return read_le<std::uint8_t>(); }
+std::optional<std::uint16_t> ByteReader::u16() {
+  return read_le<std::uint16_t>();
+}
+std::optional<std::uint32_t> ByteReader::u32() {
+  return read_le<std::uint32_t>();
+}
+std::optional<std::uint64_t> ByteReader::u64() {
+  return read_le<std::uint64_t>();
+}
+std::optional<std::int64_t> ByteReader::i64() {
+  auto raw = read_le<std::uint64_t>();
+  if (!raw) return std::nullopt;
+  return static_cast<std::int64_t>(*raw);
+}
+std::optional<double> ByteReader::f64() {
+  auto raw = read_le<std::uint64_t>();
+  if (!raw) return std::nullopt;
+  double v;
+  std::memcpy(&v, &*raw, sizeof(v));
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    const std::uint8_t byte = data_[pos_++];
+    if (shift >= 63 && (byte & 0x7f) > 1) return std::nullopt;  // overflow
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<std::vector<std::uint8_t>> ByteReader::bytes() {
+  auto len = varint();
+  if (!len || *len > remaining()) return std::nullopt;
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_ + *len));
+  pos_ += static_cast<std::size_t>(*len);
+  return out;
+}
+
+std::optional<std::string> ByteReader::str() {
+  auto len = varint();
+  if (!len || *len > remaining()) return std::nullopt;
+  std::string out(reinterpret_cast<const char*>(data_.data()) + pos_,
+                  static_cast<std::size_t>(*len));
+  pos_ += static_cast<std::size_t>(*len);
+  return out;
+}
+
+}  // namespace agb

@@ -1,0 +1,97 @@
+// Byte-level serialization primitives for the wire codec.
+//
+// The runtime layer exchanges real datagrams, so every protocol message has
+// a binary encoding. ByteWriter appends little-endian fixed-width integers
+// and LEB128 varints to a growable buffer; ByteReader consumes them with
+// explicit bounds checking (a malformed datagram must never crash a node —
+// decode failures surface as std::nullopt / false, never UB).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agb {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  /// IEEE-754 double, bit-copied little-endian.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    append_le(bits);
+  }
+
+  /// Unsigned LEB128 varint (1..10 bytes).
+  void varint(std::uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(std::string_view s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const& {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<std::uint8_t> u8();
+  [[nodiscard]] std::optional<std::uint16_t> u16();
+  [[nodiscard]] std::optional<std::uint32_t> u32();
+  [[nodiscard]] std::optional<std::uint64_t> u64();
+  [[nodiscard]] std::optional<std::int64_t> i64();
+  [[nodiscard]] std::optional<double> f64();
+  [[nodiscard]] std::optional<std::uint64_t> varint();
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> bytes();
+  [[nodiscard]] std::optional<std::string> str();
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  std::optional<T> read_le() {
+    if (remaining() < sizeof(T)) return std::nullopt;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace agb

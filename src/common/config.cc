@@ -1,0 +1,73 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace agb {
+
+bool Config::parse_args(int argc, const char* const* argv,
+                        std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    if (!parse_pair(argv[i], error)) return false;
+  }
+  return true;
+}
+
+bool Config::parse_pair(std::string_view token, std::string* error) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    if (error) *error = "expected key=value, got '" + std::string(token) + "'";
+    return false;
+  }
+  set(std::string(token.substr(0, eq)), std::string(token.substr(eq + 1)));
+  return true;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  consumed_.insert(key);
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               std::string fallback) const {
+  auto v = raw(key);
+  return v ? *v : fallback;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = raw(key);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+std::vector<std::string> Config::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace agb

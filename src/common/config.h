@@ -1,0 +1,50 @@
+// Minimal key=value configuration registry.
+//
+// Examples and benches accept "key=value" command-line overrides; this
+// registry parses them, offers typed getters with defaults, and records
+// which keys were consumed so that a typo in an override is reported rather
+// than silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agb {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens (e.g. argv). Tokens without '=' are rejected.
+  /// Returns false and fills `error` on malformed input.
+  bool parse_args(int argc, const char* const* argv, std::string* error);
+
+  /// Parses a single "key=value" pair.
+  bool parse_pair(std::string_view token, std::string* error);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] std::optional<std::string> raw(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys that were set but never read; useful to detect typos.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace agb

@@ -1,0 +1,47 @@
+// Datagram abstraction shared by the simulated network and the real
+// transports.
+//
+// Protocol nodes are sans-I/O state machines; a *driver* (simulation harness
+// or runtime) moves serialized datagrams between them. Both the simulator
+// (src/sim) and the real transports (src/runtime) implement DatagramNetwork,
+// so the exact same protocol code and wire codec run in both worlds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace agb {
+
+/// An unreliable, unordered, point-to-point message (UDP semantics).
+struct Datagram {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Receives datagrams addressed to one node.
+using DatagramHandler =
+    std::function<void(const Datagram& datagram, TimeMs now)>;
+
+/// Best-effort datagram fabric. Implementations: sim::SimNetwork (virtual
+/// time, latency/loss/partition models) and runtime transports (in-memory
+/// threaded fabric, UDP sockets).
+class DatagramNetwork {
+ public:
+  virtual ~DatagramNetwork() = default;
+
+  /// Registers the handler invoked when a datagram arrives for `node`.
+  /// A node must be attached before anyone sends to it.
+  virtual void attach(NodeId node, DatagramHandler handler) = 0;
+
+  /// Removes a node; datagrams in flight to it are dropped.
+  virtual void detach(NodeId node) = 0;
+
+  /// Sends best-effort; may be silently dropped (loss, partition, detach).
+  virtual void send(Datagram datagram) = 0;
+};
+
+}  // namespace agb

@@ -1,0 +1,35 @@
+// Tiny leveled logger.
+//
+// The protocol stack never logs on hot paths; logging exists for examples,
+// failure-injection tests and debugging. A single global level keeps the
+// dependency surface minimal (no external logging library offline), and
+// printf-style formatting keeps us off C++20 <format>, which the offline
+// toolchain does not ship.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace agb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold. Thread-safe (relaxed atomic).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view message);
+
+/// printf-style counterpart of log_line.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log_fmt(LogLevel level, const char* fmt, ...);
+
+#define AGB_LOG_DEBUG(...) ::agb::log_fmt(::agb::LogLevel::kDebug, __VA_ARGS__)
+#define AGB_LOG_INFO(...) ::agb::log_fmt(::agb::LogLevel::kInfo, __VA_ARGS__)
+#define AGB_LOG_WARN(...) ::agb::log_fmt(::agb::LogLevel::kWarn, __VA_ARGS__)
+#define AGB_LOG_ERROR(...) ::agb::log_fmt(::agb::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace agb

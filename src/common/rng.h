@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// Experiments must be exactly reproducible from a seed, so the library never
+// touches std::random_device or global generators. Rng wraps xoshiro256**
+// seeded via splitmix64, and offers the handful of distributions the
+// protocols need (uniform ints/doubles, Bernoulli, exponential inter-arrival
+// times, shuffles and k-out-of-n sampling without replacement).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace agb {
+
+/// splitmix64 step; used for seeding and as a standalone hash-like stream.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xa5b35705u) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire-style
+  /// rejection to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Gaussian via Box-Muller (no cached spare: stateless per call pair).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). If k >= n, returns all
+  /// n indices (shuffled). Uses a partial Fisher-Yates over an index vector:
+  /// O(n) but n is a group size (small) in all call sites.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace agb

@@ -1,0 +1,9 @@
+#include "common/types.h"
+
+namespace agb {
+
+std::string to_string(const EventId& id) {
+  return std::to_string(id.origin) + ":" + std::to_string(id.sequence);
+}
+
+}  // namespace agb

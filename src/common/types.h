@@ -1,0 +1,59 @@
+// Core identifier and time types shared by every layer of the library.
+//
+// All simulated time is expressed in integer milliseconds (TimeMs). Virtual
+// time starts at zero when a Simulator (or runtime driver) is created.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace agb {
+
+/// Identifies a member of a broadcast group. Dense, assigned at join time.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Virtual (or wall-clock) time in milliseconds.
+using TimeMs = std::int64_t;
+
+/// A duration in milliseconds.
+using DurationMs = std::int64_t;
+
+/// Index of a gossip round at a given node (monotone per node).
+using Round = std::uint64_t;
+
+/// Sample-period index used by the minBuff estimator (paper Fig. 5(a), `s`).
+using PeriodId = std::uint64_t;
+
+/// Identifies a broadcast event uniquely across the group: the id of the
+/// original sender plus a per-sender sequence number.
+struct EventId {
+  NodeId origin = kInvalidNode;
+  std::uint64_t sequence = 0;
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+};
+
+/// Renders "origin:sequence", e.g. "12:345".
+std::string to_string(const EventId& id);
+
+}  // namespace agb
+
+template <>
+struct std::hash<agb::EventId> {
+  std::size_t operator()(const agb::EventId& id) const noexcept {
+    // splitmix-style mix of the two halves; cheap and well distributed.
+    std::uint64_t x =
+        (static_cast<std::uint64_t>(id.origin) << 48) ^ id.sequence;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

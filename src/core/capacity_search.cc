@@ -1,0 +1,71 @@
+#include "core/capacity_search.h"
+
+namespace agb::core {
+
+namespace {
+
+struct Probe {
+  bool feasible = false;
+  double drop_age = 0.0;
+  double metric = 0.0;
+};
+
+Probe probe(const ScenarioParams& base, double rate,
+            const CapacitySearchOptions& options) {
+  ScenarioParams params = base;
+  params.adaptive = false;
+  params.offered_rate = rate;
+  Scenario scenario(params);
+  auto results = scenario.run();
+  const double metric =
+      options.criterion == CapacitySearchOptions::Criterion::kAvgReceivers
+          ? results.delivery.avg_receiver_pct
+          : results.delivery.atomicity_pct;
+  return Probe{metric >= options.threshold, results.avg_drop_age, metric};
+}
+
+}  // namespace
+
+CapacitySearchResult find_max_rate(const ScenarioParams& base,
+                                   const CapacitySearchOptions& options) {
+  double lo = options.lo;
+  double hi = options.hi;
+  CapacitySearchResult best;
+
+  // Expand downward if even `lo` is infeasible: report lo as a degenerate
+  // answer rather than searching below the caller's floor.
+  Probe lo_probe = probe(base, lo, options);
+  if (!lo_probe.feasible) {
+    best.max_rate = lo;
+    best.knee_drop_age = lo_probe.drop_age;
+    best.metric_at_knee = lo_probe.metric;
+    return best;
+  }
+  best.max_rate = lo;
+  best.knee_drop_age = lo_probe.drop_age;
+  best.metric_at_knee = lo_probe.metric;
+
+  Probe hi_probe = probe(base, hi, options);
+  if (hi_probe.feasible) {
+    best.max_rate = hi;
+    best.knee_drop_age = hi_probe.drop_age;
+    best.metric_at_knee = hi_probe.metric;
+    return best;
+  }
+
+  while (hi - lo > options.tol) {
+    const double mid = 0.5 * (lo + hi);
+    Probe mid_probe = probe(base, mid, options);
+    if (mid_probe.feasible) {
+      lo = mid;
+      best.max_rate = mid;
+      best.knee_drop_age = mid_probe.drop_age;
+      best.metric_at_knee = mid_probe.metric;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace agb::core

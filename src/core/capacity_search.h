@@ -1,0 +1,46 @@
+// Maximum sustainable input rate search (paper Fig. 4 and §2.3).
+//
+// For a buffer configuration, the paper experimentally determines the
+// largest offered load for which messages still reach at least 95 % of the
+// group on average, and records the drop age observed at that knee — the
+// critical age a_r that the adaptive mechanism targets. This helper
+// reproduces that calibration by bisection over offered load using the
+// baseline (non-adaptive) scenario.
+#pragma once
+
+#include "core/scenario.h"
+
+namespace agb::core {
+
+struct CapacitySearchResult {
+  double max_rate = 0.0;        // highest feasible aggregate load (msg/s)
+  double knee_drop_age = 0.0;   // avg overflow-drop age at that load
+  double metric_at_knee = 0.0;  // the reliability metric at that load
+};
+
+struct CapacitySearchOptions {
+  double lo = 1.0;    // known-feasible lower bound (msg/s)
+  double hi = 80.0;   // upper bound for the search (msg/s)
+  double tol = 1.0;   // stop when hi - lo <= tol
+
+  /// Which reliability standard defines "sustainable".
+  enum class Criterion {
+    /// Average % of receivers >= threshold — the paper's §2.3 calibration
+    /// ("deliver messages to at least an average of 95% of participant
+    /// processes"). The laxer standard: tolerates a tail of messages that
+    /// miss a few nodes.
+    kAvgReceivers,
+    /// % of messages delivered to >95 % of the group >= threshold — the
+    /// bimodal-atomicity standard of Figs. 2/8(b). Stricter; this is the
+    /// level the shipped adaptive marks are calibrated against.
+    kAtomicity,
+  };
+  Criterion criterion = Criterion::kAvgReceivers;
+  double threshold = 95.0;
+};
+
+/// `base` supplies everything except offered_rate/adaptive (forced off).
+CapacitySearchResult find_max_rate(const ScenarioParams& base,
+                                   const CapacitySearchOptions& options);
+
+}  // namespace agb::core

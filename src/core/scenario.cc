@@ -1,0 +1,322 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "membership/full_membership.h"
+
+namespace agb::core {
+
+namespace {
+
+std::vector<NodeId> pick_senders(std::size_t n, std::size_t senders) {
+  std::vector<NodeId> ids;
+  senders = std::max<std::size_t>(1, std::min(senders, n));
+  ids.reserve(senders);
+  for (std::size_t i = 0; i < senders; ++i) {
+    ids.push_back(static_cast<NodeId>(i * n / senders));
+  }
+  return ids;
+}
+
+}  // namespace
+
+struct Scenario::SenderState {
+  NodeId id = kInvalidNode;
+  gossip::LpbcastNode* node = nullptr;             // non-owning
+  adaptive::AdaptiveLpbcastNode* adaptive = nullptr;  // null for baseline
+  double rate = 0.0;                               // offered msg/s
+  Rng rng{0};
+  std::deque<gossip::Payload> pending;
+  std::unique_ptr<sim::PeriodicTimer> retry_timer;
+  bool retry_armed = false;
+};
+
+Scenario::Scenario(ScenarioParams params)
+    : params_(std::move(params)),
+      master_rng_(params_.seed),
+      tracker_(params_.n) {
+  net_ = std::make_unique<sim::SimNetwork>(sim_, params_.network,
+                                           master_rng_.split());
+}
+
+Scenario::~Scenario() = default;
+
+bool Scenario::in_eval_window(TimeMs t) const {
+  return t >= params_.warmup && t < params_.warmup + params_.duration;
+}
+
+void Scenario::build_nodes() {
+  nodes_.reserve(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+
+    std::unique_ptr<membership::Membership> view;
+    if (params_.partial_view) {
+      auto pv = std::make_unique<membership::PartialView>(
+          id, params_.view_params, master_rng_.split());
+      // Bootstrap: seed each view with a random sample of the group, the
+      // standard way lpbcast deployments are started.
+      auto sample = master_rng_.sample_indices(
+          params_.n, params_.view_params.max_view + 1);
+      for (std::size_t idx : sample) {
+        if (idx != i) pv->add(static_cast<NodeId>(idx));
+      }
+      view = std::move(pv);
+    } else {
+      auto full =
+          std::make_unique<membership::FullMembership>(id, master_rng_.split());
+      for (std::size_t j = 0; j < params_.n; ++j) {
+        if (j != i) full->add(static_cast<NodeId>(j));
+      }
+      view = std::move(full);
+    }
+
+    std::unique_ptr<gossip::LpbcastNode> node;
+    if (params_.adaptive) {
+      auto adaptive_node = std::make_unique<adaptive::AdaptiveLpbcastNode>(
+          id, params_.gossip, params_.adaptation, std::move(view),
+          master_rng_.split());
+      adaptive_nodes_.push_back(adaptive_node.get());
+      node = std::move(adaptive_node);
+    } else {
+      node = std::make_unique<gossip::LpbcastNode>(
+          id, params_.gossip, std::move(view), master_rng_.split());
+    }
+
+    node->set_deliver_handler([this, id](const gossip::Event& e, TimeMs now) {
+      if (e.id.origin == id) return;  // origin accounted at broadcast time
+      tracker_.on_delivery(e.id, id, now);
+    });
+    node->set_drop_handler(
+        [this](const gossip::Event& e, gossip::DropReason reason, TimeMs now) {
+          if (reason != gossip::DropReason::kBufferOverflow) return;
+          if (in_eval_window(now)) {
+            eval_drop_age_.add(static_cast<double>(e.age));
+          }
+        });
+
+    net_->attach(id, [this, raw = node.get()](const Datagram& d, TimeMs now) {
+      if (!raw->on_wire(gossip::decode_any(d.payload), now)) {
+        ++decode_failures_;
+        return;
+      }
+      drain_outbox(*raw);
+    });
+
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void Scenario::emit(gossip::LpbcastNode& node,
+                    const gossip::LpbcastNode::Outgoing& out) {
+  if (!out.targets.empty()) {
+    // Encode once; identical bytes go to every target (what a real driver
+    // does, and what keeps codec cost linear in messages, not targets).
+    auto bytes = out.message.encode();
+    for (NodeId target : out.targets) {
+      net_->send(Datagram{node.id(), target, bytes});
+    }
+  }
+  drain_outbox(node);
+}
+
+void Scenario::drain_outbox(gossip::LpbcastNode& node) {
+  for (auto& control : node.take_outbox()) {
+    net_->send(Datagram{node.id(), control.target,
+                        std::move(control.payload)});
+  }
+}
+
+void Scenario::start_round_timers() {
+  for (auto& node : nodes_) {
+    // Unsynchronised rounds: each node starts at a random phase, like
+    // independently started processes on the paper's 60 workstations.
+    const auto phase = static_cast<TimeMs>(
+        master_rng_.next_below(static_cast<std::uint64_t>(
+            params_.gossip.gossip_period)));
+    timers_.push_back(std::make_unique<sim::PeriodicTimer>(
+        sim_, phase, params_.gossip.gossip_period,
+        [this, raw = node.get()](TimeMs now) {
+          auto out = raw->on_round(now);
+          emit(*raw, out);
+        }));
+  }
+}
+
+void Scenario::sender_arrival(SenderState& sender) {
+  auto payload = gossip::make_payload(
+      std::vector<std::uint8_t>(params_.payload_size, 0xab));
+  if (sender.pending.size() >= params_.pending_cap) {
+    ++refused_;
+  } else {
+    sender.pending.push_back(std::move(payload));
+  }
+  drain_sender(sender);
+
+  // Schedule the next application arrival.
+  const double mean_ms = 1000.0 / sender.rate;
+  const auto gap = static_cast<DurationMs>(std::max(
+      1.0, params_.poisson_arrivals ? sender.rng.exponential(mean_ms)
+                                    : mean_ms));
+  sim_.after(gap, [this, &sender] { sender_arrival(sender); });
+}
+
+void Scenario::drain_sender(SenderState& sender) {
+  const TimeMs now = sim_.now();
+  while (!sender.pending.empty()) {
+    EventId id;
+    const bool supersedes =
+        params_.supersede_probability > 0.0 &&
+        sender.rng.bernoulli(params_.supersede_probability);
+    if (sender.adaptive != nullptr) {
+      if (!sender.adaptive->try_broadcast_on_stream(
+              sender.pending.front(), now, /*stream=*/sender.id, supersedes,
+              &id)) {
+        break;  // no tokens; the retry timer will try again
+      }
+    } else {
+      id = sender.node->broadcast_on_stream(sender.pending.front(), now,
+                                            /*stream=*/sender.id, supersedes);
+    }
+    sender.pending.pop_front();
+    tracker_.on_broadcast(id, sender.id, now);
+    tracker_.on_delivery(id, sender.id, now);  // origin's local delivery
+  }
+}
+
+void Scenario::start_senders() {
+  const auto sender_ids = pick_senders(params_.n, params_.senders);
+  const double per_sender =
+      params_.offered_rate / static_cast<double>(sender_ids.size());
+  for (NodeId id : sender_ids) {
+    auto sender = std::make_unique<SenderState>();
+    sender->id = id;
+    sender->node = nodes_[id].get();
+    sender->adaptive = params_.adaptive ? adaptive_nodes_[id] : nullptr;
+    sender->rate = per_sender;
+    sender->rng = master_rng_.split();
+
+    // Token-refill retries: cheap fixed-cadence drain attempts; only does
+    // work while the pending queue is non-empty.
+    sender->retry_timer = std::make_unique<sim::PeriodicTimer>(
+        sim_, 100, 100, [this, raw = sender.get()](TimeMs) {
+          if (!raw->pending.empty()) drain_sender(*raw);
+        });
+
+    const auto first = static_cast<DurationMs>(
+        sender->rng.exponential(1000.0 / sender->rate));
+    sim_.after(std::max<DurationMs>(first, 1),
+               [this, raw = sender.get()] { sender_arrival(*raw); });
+    senders_.push_back(std::move(sender));
+  }
+}
+
+void Scenario::start_sampler() {
+  timers_.push_back(std::make_unique<sim::PeriodicTimer>(
+      sim_, params_.series_bucket, params_.series_bucket,
+      [this](TimeMs now) {
+        if (!adaptive_nodes_.empty()) {
+          double allowed = 0.0;
+          for (const auto& sender : senders_) {
+            if (sender->adaptive != nullptr) {
+              allowed += sender->adaptive->allowed_rate();
+            }
+          }
+          allowed_rate_ts_.add(now, allowed);
+
+          double min_buff_sum = 0.0;
+          for (const auto* node : adaptive_nodes_) {
+            min_buff_sum += static_cast<double>(node->min_buff());
+          }
+          min_buff_ts_.add(
+              now, min_buff_sum / static_cast<double>(adaptive_nodes_.size()));
+        }
+      }));
+}
+
+void Scenario::apply_failure_schedule() {
+  for (const FailureEvent& event : params_.failure_schedule) {
+    sim_.at(event.at,
+            [this, event] { net_->set_node_up(event.node, event.up); });
+  }
+}
+
+void Scenario::apply_capacity_schedule() {
+  for (const CapacityChange& change : params_.capacity_schedule) {
+    sim_.at(change.at, [this, change] {
+      const auto affected = static_cast<std::size_t>(
+          change.node_fraction * static_cast<double>(params_.n));
+      for (std::size_t i = 0; i < std::min(affected, params_.n); ++i) {
+        if (params_.adaptive) {
+          adaptive_nodes_[i]->set_capacity(change.new_capacity, sim_.now());
+        } else {
+          nodes_[i]->set_max_events(change.new_capacity, sim_.now());
+        }
+      }
+    });
+  }
+}
+
+ScenarioResults Scenario::run() {
+  if (ran_) return {};
+  ran_ = true;
+
+  build_nodes();
+  start_round_timers();
+  start_senders();
+  start_sampler();
+  apply_capacity_schedule();
+  apply_failure_schedule();
+
+  const TimeMs eval_start = params_.warmup;
+  const TimeMs eval_end = params_.warmup + params_.duration;
+  sim_.run_until(eval_end + params_.cooldown);
+
+  ScenarioResults results;
+  results.delivery = tracker_.report(eval_start, eval_end);
+  results.offered_rate = params_.offered_rate;
+  results.input_rate = results.delivery.input_rate;
+  results.output_rate = results.delivery.output_rate;
+  results.avg_drop_age = eval_drop_age_.mean();
+  results.refused_broadcasts = refused_;
+  results.decode_failures = decode_failures_;
+  results.net = net_->stats();
+
+  for (const auto& node : nodes_) {
+    results.overflow_drops += node->counters().drops_overflow;
+    results.age_limit_drops += node->counters().drops_age_limit;
+    results.repair_requests += node->counters().repair_requests;
+    results.repair_replies += node->counters().repair_replies;
+    results.events_recovered += node->counters().events_recovered;
+  }
+
+  if (!adaptive_nodes_.empty()) {
+    results.avg_allowed_rate = allowed_rate_ts_.mean_in(eval_start, eval_end);
+    results.final_allowed_rate = allowed_rate_ts_.value_at(eval_end);
+    double min_buff_sum = 0.0;
+    double age_sum = 0.0;
+    for (const auto* node : adaptive_nodes_) {
+      min_buff_sum += static_cast<double>(node->min_buff());
+      age_sum += node->avg_age();
+    }
+    results.avg_min_buff =
+        min_buff_sum / static_cast<double>(adaptive_nodes_.size());
+    results.avg_age_estimate =
+        age_sum / static_cast<double>(adaptive_nodes_.size());
+  }
+
+  results.allowed_rate_ts = allowed_rate_ts_;
+  results.min_buff_ts = min_buff_ts_;
+  for (auto [t, v] :
+       tracker_.atomicity_series(eval_start, eval_end, params_.series_bucket)) {
+    results.atomicity_ts.add(t, v);
+  }
+  for (auto [t, v] : tracker_.input_rate_series(eval_start, eval_end,
+                                                params_.series_bucket)) {
+    results.input_rate_ts.add(t, v);
+  }
+  return results;
+}
+
+}  // namespace agb::core

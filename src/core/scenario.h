@@ -1,0 +1,179 @@
+// Experiment harness: a whole gossip group under the discrete-event
+// simulator, with configurable workload, network model, dynamic resource
+// schedule and metrics collection.
+//
+// This is the engine behind every figure reproduction in bench/: it builds
+// `n` lpbcast (or adaptive) nodes, drives unsynchronised gossip rounds,
+// injects application traffic through per-sender queues (token-gated for the
+// adaptive variant, mirroring the paper's blocking BROADCAST), routes every
+// message through the byte codec and the simulated network, and reports the
+// paper's metrics over an evaluation window that excludes warm-up and the
+// not-yet-disseminated tail.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "adaptive/adaptive_node.h"
+#include "adaptive/params.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "gossip/lpbcast_node.h"
+#include "gossip/params.h"
+#include "membership/partial_view.h"
+#include "metrics/delivery_tracker.h"
+#include "metrics/timeseries.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace agb::core {
+
+/// One step of the dynamic-resources schedule (paper §4, Fig. 9): at time
+/// `at`, the first floor(node_fraction * n) nodes switch their event-buffer
+/// bound to `new_capacity`.
+struct CapacityChange {
+  TimeMs at = 0;
+  double node_fraction = 0.2;
+  std::size_t new_capacity = 45;
+};
+
+/// Crash/recover injection: at time `at`, mark `node` up or down in the
+/// simulated network (a down node neither sends nor receives).
+struct FailureEvent {
+  TimeMs at = 0;
+  NodeId node = 0;
+  bool up = false;
+};
+
+struct ScenarioParams {
+  std::size_t n = 60;
+  /// How many members act as senders (spread evenly over the id space).
+  std::size_t senders = 4;
+  /// Aggregate offered load in msg/s, split evenly across senders.
+  double offered_rate = 30.0;
+  /// Poisson (true) or strictly periodic (false) application arrivals.
+  bool poisson_arrivals = true;
+  std::size_t payload_size = 16;
+  /// Probability that a broadcast supersedes the sender's earlier messages
+  /// on its stream (each sender is one stream). Pair with
+  /// gossip.semantic_purge to exercise semantic reliability workloads.
+  double supersede_probability = 0.0;
+
+  /// false: baseline lpbcast (paper Fig. 1). true: adaptive (paper Fig. 5).
+  bool adaptive = false;
+  gossip::GossipParams gossip;
+  adaptive::AdaptiveParams adaptation;
+
+  /// Use lpbcast partial views instead of a full directory.
+  bool partial_view = false;
+  membership::PartialViewParams view_params;
+
+  sim::NetworkParams network;
+  std::uint64_t seed = 1;
+
+  DurationMs warmup = 30'000;    // excluded from metrics
+  DurationMs duration = 200'000; // evaluation window
+  DurationMs cooldown = 20'000;  // run-out so tail messages can finish
+
+  std::vector<CapacityChange> capacity_schedule;
+  std::vector<FailureEvent> failure_schedule;
+
+  /// Bound on each sender's pending queue; arrivals beyond it are refused
+  /// (models application back-pressure on the paper's blocking BROADCAST).
+  std::size_t pending_cap = 64;
+
+  /// Granularity of the recorded time series (Fig. 9).
+  DurationMs series_bucket = 5'000;
+};
+
+struct ScenarioResults {
+  metrics::DeliveryReport delivery;
+
+  double offered_rate = 0.0;       // configured aggregate
+  double input_rate = 0.0;         // measured admitted broadcasts /s
+  double output_rate = 0.0;        // messages reaching >95 % of nodes /s
+  double avg_drop_age = 0.0;       // mean age of overflow-dropped events
+  std::uint64_t overflow_drops = 0;
+  std::uint64_t age_limit_drops = 0;
+  std::uint64_t refused_broadcasts = 0;  // back-pressure at the app layer
+  std::uint64_t decode_failures = 0;
+
+  // Recovery traffic (zero unless gossip.recovery.enabled).
+  std::uint64_t repair_requests = 0;
+  std::uint64_t repair_replies = 0;
+  std::uint64_t events_recovered = 0;
+
+  // Adaptive-only signals (0 for the baseline).
+  double avg_allowed_rate = 0.0;   // time-mean aggregate allowed rate
+  double final_allowed_rate = 0.0; // aggregate allowed rate at window end
+  double avg_min_buff = 0.0;       // mean minBuff estimate at window end
+  double avg_age_estimate = 0.0;   // mean avgAge at window end
+
+  sim::NetworkStats net;
+
+  metrics::TimeSeries allowed_rate_ts{"allowed_rate"};
+  metrics::TimeSeries min_buff_ts{"min_buff"};
+  metrics::TimeSeries atomicity_ts{"atomicity"};
+  metrics::TimeSeries input_rate_ts{"input_rate"};
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioParams params);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs the full experiment and returns the report. Call once.
+  ScenarioResults run();
+
+  /// Post-run introspection for tests: the protocol nodes and the network.
+  [[nodiscard]] const std::vector<std::unique_ptr<gossip::LpbcastNode>>&
+  nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<adaptive::AdaptiveLpbcastNode*>&
+  adaptive_nodes() const noexcept {
+    return adaptive_nodes_;
+  }
+  [[nodiscard]] const metrics::DeliveryTracker& tracker() const noexcept {
+    return tracker_;
+  }
+
+ private:
+  struct SenderState;
+
+  void build_nodes();
+  void start_round_timers();
+  void start_senders();
+  void start_sampler();
+  void apply_capacity_schedule();
+  void apply_failure_schedule();
+  void emit(gossip::LpbcastNode& node, const gossip::LpbcastNode::Outgoing& out);
+  void drain_outbox(gossip::LpbcastNode& node);
+  void sender_arrival(SenderState& sender);
+  void drain_sender(SenderState& sender);
+  [[nodiscard]] bool in_eval_window(TimeMs t) const;
+
+  ScenarioParams params_;
+  Rng master_rng_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::SimNetwork> net_;
+  std::vector<std::unique_ptr<gossip::LpbcastNode>> nodes_;
+  std::vector<adaptive::AdaptiveLpbcastNode*> adaptive_nodes_;  // or empty
+  metrics::DeliveryTracker tracker_;
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> timers_;
+  std::vector<std::unique_ptr<SenderState>> senders_;
+  RunningStats eval_drop_age_;
+  std::uint64_t refused_ = 0;
+  std::uint64_t decode_failures_ = 0;
+  metrics::TimeSeries allowed_rate_ts_{"allowed_rate"};
+  metrics::TimeSeries min_buff_ts_{"min_buff"};
+  bool ran_ = false;
+};
+
+}  // namespace agb::core

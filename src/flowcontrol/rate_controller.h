@@ -1,0 +1,68 @@
+// Sender-side rate controllers.
+//
+// RateController abstracts "what rate is this sender currently allowed to
+// inject at". The paper's adaptive controller lives in src/adaptive
+// (adaptive::RateAdapter); this header provides the interface plus two
+// reference controllers used as baselines and in ablation benches:
+// StaticRate (the non-adaptive lpbcast configuration) and AimdController
+// (TCP-style additive-increase/multiplicative-decrease on a binary
+// congestion bit, to contrast with the paper's age-threshold rule).
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace agb::flowcontrol {
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Allowed injection rate in msg/s at time `now`.
+  [[nodiscard]] virtual double allowed_rate() const = 0;
+};
+
+/// Fixed rate; what a statically configured deployment does.
+class StaticRate final : public RateController {
+ public:
+  explicit StaticRate(double rate) noexcept : rate_(rate) {}
+  [[nodiscard]] double allowed_rate() const override { return rate_; }
+  void set_rate(double rate) noexcept { rate_ = rate; }
+
+ private:
+  double rate_;
+};
+
+/// Classic AIMD over a boolean congestion signal. Used in ablations to show
+/// why the paper uses *two* age thresholds plus usage gating instead of a
+/// single binary signal.
+class AimdController final : public RateController {
+ public:
+  struct Params {
+    double additive_increase = 0.5;     // msg/s per update when uncongested
+    double multiplicative_decrease = 0.5;
+    double min_rate = 0.5;
+    double max_rate = 1000.0;
+  };
+
+  AimdController(Params params, double initial_rate) noexcept
+      : params_(params), rate_(initial_rate) {}
+
+  void update(bool congested) noexcept {
+    if (congested) {
+      rate_ *= params_.multiplicative_decrease;
+    } else {
+      rate_ += params_.additive_increase;
+    }
+    rate_ = std::clamp(rate_, params_.min_rate, params_.max_rate);
+  }
+
+  [[nodiscard]] double allowed_rate() const override { return rate_; }
+
+ private:
+  Params params_;
+  double rate_;
+};
+
+}  // namespace agb::flowcontrol

@@ -1,0 +1,69 @@
+// Token bucket bounding a sender's input rate (paper Fig. 3).
+//
+// The paper restores one token every 1000/rate ms up to `max`; we implement
+// the continuous-time equivalent (fractional refill at `rate` tokens per
+// second, capped at `capacity`), which behaves identically at the
+// granularity the protocol observes and avoids a per-token timer.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+
+namespace agb::flowcontrol {
+
+class TokenBucket {
+ public:
+  /// Starts full, which matches the paper ("Initially: tokens = max").
+  TokenBucket(double rate_per_sec, double capacity, TimeMs now) noexcept
+      : rate_(rate_per_sec),
+        capacity_(capacity),
+        tokens_(capacity),
+        last_refill_(now) {}
+
+  /// Consumes one token if available. `now` must be monotone.
+  bool try_take(TimeMs now) noexcept {
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Current fill level (after refill). Drives the paper's avgTokens.
+  [[nodiscard]] double level(TimeMs now) noexcept {
+    refill(now);
+    return tokens_;
+  }
+
+  /// Changes the refill rate (the adaptive mechanism's output). Refills at
+  /// the old rate first so past time is accounted at the rate it ran under.
+  void set_rate(double rate_per_sec, TimeMs now) noexcept {
+    refill(now);
+    rate_ = rate_per_sec;
+  }
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+  void set_capacity(double capacity, TimeMs now) noexcept {
+    refill(now);
+    capacity_ = capacity;
+    tokens_ = std::min(tokens_, capacity_);
+  }
+
+ private:
+  void refill(TimeMs now) noexcept {
+    if (now <= last_refill_) return;
+    const double elapsed_s =
+        static_cast<double>(now - last_refill_) / 1000.0;
+    tokens_ = std::min(capacity_, tokens_ + elapsed_s * rate_);
+    last_refill_ = now;
+  }
+
+  double rate_;
+  double capacity_;
+  double tokens_;
+  TimeMs last_refill_;
+};
+
+}  // namespace agb::flowcontrol

@@ -1,0 +1,179 @@
+// Periodic gossip aggregation — the general mechanism behind minBuff.
+//
+// The paper computes the group-wide minimum buffer size by folding a value
+// into every gossip header and keeping per-sample-period state (footnote 3:
+// "this is similar to an aggregation function", citing Gupta et al.). This
+// header generalises that pattern: a PeriodicAggregator<Op> maintains, per
+// sample period, the fold of the local contribution with every remote
+// contribution observed in that period, with a sliding window over
+// completed periods and the same loose period synchronisation
+// (fast-forward on later-period headers).
+//
+// Ops provided: Min, Max, Sum-with-count (mean), Bool-Or. Sum/mean is only
+// an *approximation* under gossip (values are folded per message and
+// re-folding double-counts), so SumOp folds per-node last-writer state
+// instead — see the class comment.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "common/types.h"
+
+namespace agb::gossip {
+
+/// Fold-based aggregate over values that form a semilattice (idempotent,
+/// commutative, associative folds: min, max, or). Safe to fold the same
+/// information any number of times, which is exactly what gossip does.
+template <typename T, typename Fold>
+class PeriodicAggregator {
+ public:
+  /// `window` counts the current period plus completed ones (>= 1).
+  PeriodicAggregator(std::size_t window, T local, Fold fold = Fold{})
+      : window_(std::max<std::size_t>(window, 1)),
+        fold_(fold),
+        local_(local),
+        running_(local) {}
+
+  void set_local(T value) {
+    local_ = value;
+    running_ = fold_(running_, value);
+  }
+
+  void advance_to(PeriodId p) {
+    while (period_ < p) {
+      history_.push_front(running_);
+      while (history_.size() > window_ - 1) history_.pop_back();
+      ++period_;
+      running_ = local_;
+    }
+  }
+
+  /// Folds a header value stamped with period `p`.
+  void on_header(PeriodId p, T value) {
+    if (p > period_) advance_to(p);
+    if (p == period_) running_ = fold_(running_, value);
+  }
+
+  /// Value to stamp on outgoing headers (the running fold of this period).
+  [[nodiscard]] T header_value() const { return running_; }
+
+  /// The windowed estimate: fold of the running period and history.
+  [[nodiscard]] T estimate() const {
+    T acc = running_;
+    for (const T& v : history_) acc = fold_(acc, v);
+    return acc;
+  }
+
+  [[nodiscard]] PeriodId period() const noexcept { return period_; }
+
+ private:
+  std::size_t window_;
+  Fold fold_;
+  T local_;
+  PeriodId period_ = 0;
+  T running_;
+  std::deque<T> history_;
+};
+
+struct MinFold {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::min(a, b);
+  }
+};
+
+struct MaxFold {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return std::max(a, b);
+  }
+};
+
+struct OrFold {
+  bool operator()(bool a, bool b) const { return a || b; }
+};
+
+template <typename T>
+using MinAggregator = PeriodicAggregator<T, MinFold>;
+template <typename T>
+using MaxAggregator = PeriodicAggregator<T, MaxFold>;
+using FlagAggregator = PeriodicAggregator<bool, OrFold>;
+
+/// Non-semilattice aggregates (sum, mean) cannot be folded per message —
+/// gossip re-delivers information and a plain fold double-counts. This
+/// aggregator keeps last-writer-wins per-node state instead: every node
+/// contributes (node, value, version) tuples, receivers keep the highest
+/// version per node, and sum/mean are computed over the node map. State is
+/// O(group size), which the paper's minimum deliberately avoids — provided
+/// for completeness and for small groups (it powers no core mechanism).
+template <typename T>
+class NodeMapAggregator {
+ public:
+  explicit NodeMapAggregator(NodeId self, T local)
+      : self_(self) {
+    entries_[self_] = {local, 1};
+  }
+
+  void set_local(T value) {
+    auto& entry = entries_[self_];
+    entry.value = value;
+    ++entry.version;
+  }
+
+  struct Share {
+    NodeId node;
+    T value;
+    std::uint64_t version;
+  };
+
+  /// Entries to piggyback (callers may sample a subset for large groups).
+  [[nodiscard]] std::vector<Share> shares() const {
+    std::vector<Share> out;
+    out.reserve(entries_.size());
+    for (const auto& [node, entry] : entries_) {
+      out.push_back({node, entry.value, entry.version});
+    }
+    return out;
+  }
+
+  void on_share(const Share& share) {
+    auto [it, inserted] =
+        entries_.try_emplace(share.node, Entry{share.value, share.version});
+    if (!inserted && share.version > it->second.version) {
+      it->second = {share.value, share.version};
+    }
+  }
+
+  /// Forgets a departed node's contribution.
+  void forget(NodeId node) {
+    if (node != self_) entries_.erase(node);
+  }
+
+  [[nodiscard]] T sum() const {
+    T acc{};
+    for (const auto& [node, entry] : entries_) acc += entry.value;
+    return acc;
+  }
+
+  [[nodiscard]] double mean() const {
+    return entries_.empty()
+               ? 0.0
+               : static_cast<double>(sum()) /
+                     static_cast<double>(entries_.size());
+  }
+
+  [[nodiscard]] std::size_t known_nodes() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    T value;
+    std::uint64_t version;
+  };
+  NodeId self_;
+  std::map<NodeId, Entry> entries_;
+};
+
+}  // namespace agb::gossip

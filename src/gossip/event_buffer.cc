@@ -1,0 +1,162 @@
+#include "gossip/event_buffer.h"
+
+#include <algorithm>
+
+namespace agb::gossip {
+
+bool EventBuffer::insert(Event event) {
+  if (index_.contains(event.id)) return false;
+  index_.emplace(event.id, slots_.size());
+  slots_.push_back(Slot{std::move(event), next_seq_++});
+  return true;
+}
+
+void EventBuffer::bump_age(const EventId& id, std::uint32_t age) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  auto& stored = slots_[it->second].event;
+  stored.age = std::max(stored.age, age);
+}
+
+void EventBuffer::increment_ages() noexcept {
+  for (auto& slot : slots_) ++slot.event.age;
+}
+
+std::vector<Event> EventBuffer::purge_age_limit(std::uint32_t max_age) {
+  std::vector<Event> removed;
+  for (std::size_t i = 0; i < slots_.size();) {
+    if (slots_[i].event.age > max_age) {
+      removed.push_back(std::move(slots_[i].event));
+      erase_slot(i);
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::vector<Event> EventBuffer::purge_superseded() {
+  // Pass 1: per (origin, stream), the highest sequence carrying the
+  // supersedes flag. Pass 2: evict everything older in that stream.
+  std::unordered_map<std::uint64_t, std::uint64_t> horizon;
+  auto key = [](const Event& e) {
+    return (static_cast<std::uint64_t>(e.id.origin) << 32) | e.stream;
+  };
+  for (const auto& slot : slots_) {
+    const Event& e = slot.event;
+    if (!e.supersedes) continue;
+    auto [it, inserted] = horizon.try_emplace(key(e), e.id.sequence);
+    if (!inserted) it->second = std::max(it->second, e.id.sequence);
+  }
+  std::vector<Event> removed;
+  if (horizon.empty()) return removed;
+  for (std::size_t i = 0; i < slots_.size();) {
+    const Event& e = slots_[i].event;
+    auto it = horizon.find(key(e));
+    if (it != horizon.end() && e.id.sequence < it->second) {
+      removed.push_back(std::move(slots_[i].event));
+      erase_slot(i);
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::size_t EventBuffer::oldest_slot_index(
+    const std::unordered_set<EventId>* excluded) const {
+  std::size_t best = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (excluded && excluded->contains(slots_[i].event.id)) continue;
+    if (best == slots_.size()) {
+      best = i;
+      continue;
+    }
+    const auto& cand = slots_[i];
+    const auto& cur = slots_[best];
+    if (cand.event.age > cur.event.age ||
+        (cand.event.age == cur.event.age && cand.fifo_seq < cur.fifo_seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void EventBuffer::erase_slot(std::size_t idx) {
+  index_.erase(slots_[idx].event.id);
+  if (idx != slots_.size() - 1) {
+    slots_[idx] = std::move(slots_.back());
+    index_[slots_[idx].event.id] = idx;
+  }
+  slots_.pop_back();
+}
+
+std::vector<Event> EventBuffer::shrink_to(std::size_t capacity) {
+  std::vector<Event> removed;
+  while (slots_.size() > capacity) {
+    const std::size_t idx = oldest_slot_index(nullptr);
+    removed.push_back(slots_[idx].event);
+    erase_slot(idx);
+  }
+  return removed;
+}
+
+const Event* EventBuffer::oldest_excluding(
+    const std::unordered_set<EventId>& excluded) const {
+  const std::size_t idx = oldest_slot_index(&excluded);
+  return idx == slots_.size() ? nullptr : &slots_[idx].event;
+}
+
+std::size_t EventBuffer::count_excluding(
+    const std::unordered_set<EventId>& excluded) const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (!excluded.contains(slot.event.id)) ++count;
+  }
+  return count;
+}
+
+std::vector<Event> EventBuffer::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(slots_.size());
+  // Emit in insertion order for deterministic wire images.
+  std::vector<const Slot*> ordered;
+  ordered.reserve(slots_.size());
+  for (const auto& slot : slots_) ordered.push_back(&slot);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Slot* a, const Slot* b) { return a->fifo_seq < b->fifo_seq; });
+  for (const Slot* slot : ordered) out.push_back(slot->event);
+  return out;
+}
+
+void EventBuffer::for_each(
+    const std::function<void(const Event&)>& fn) const {
+  for (const auto& slot : slots_) fn(slot.event);
+}
+
+bool EventIdBuffer::insert(const EventId& id) {
+  if (set_.contains(id)) return false;
+  set_.insert(id);
+  fifo_.push_back(id);
+  evict_to_capacity();
+  return true;
+}
+
+void EventIdBuffer::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  evict_to_capacity();
+}
+
+void EventIdBuffer::evict_to_capacity() {
+  while (set_.size() > capacity_ && head_ < fifo_.size()) {
+    set_.erase(fifo_[head_]);
+    ++head_;
+  }
+  // Compact the fifo vector once the dead prefix dominates.
+  if (head_ > fifo_.size() / 2 && head_ > 64) {
+    fifo_.erase(fifo_.begin(), fifo_.begin() + static_cast<long>(head_));
+    head_ = 0;
+  }
+}
+
+}  // namespace agb::gossip

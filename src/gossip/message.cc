@@ -1,0 +1,251 @@
+#include "gossip/message.h"
+
+namespace agb::gossip {
+
+namespace {
+
+// Decoded containers are size-checked against what the remaining bytes could
+// possibly hold, so a forged count cannot trigger a huge allocation.
+bool plausible_count(std::uint64_t count, std::size_t remaining,
+                     std::size_t min_element_size) {
+  return count <= remaining / min_element_size + 1;
+}
+
+void write_preamble(ByteWriter& w, MessageType type, NodeId sender) {
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(sender);
+}
+
+/// Consumes the shared preamble; returns the sender or nullopt on mismatch.
+std::optional<NodeId> read_preamble(ByteReader& r, MessageType expected) {
+  auto magic = r.u16();
+  auto version = r.u8();
+  auto type = r.u8();
+  auto sender = r.u32();
+  if (!magic || *magic != kWireMagic) return std::nullopt;
+  if (!version || *version != kWireVersion) return std::nullopt;
+  if (!type || *type != static_cast<std::uint8_t>(expected)) {
+    return std::nullopt;
+  }
+  return sender;
+}
+
+void write_event(ByteWriter& w, const Event& e) {
+  w.u32(e.id.origin);
+  w.varint(e.id.sequence);
+  w.varint(e.age);
+  w.i64(e.created_at);
+  w.varint(e.stream);
+  w.u8(e.supersedes ? 1 : 0);
+  if (e.payload) {
+    w.bytes(*e.payload);
+  } else {
+    w.varint(0);
+  }
+}
+
+std::optional<Event> read_event(ByteReader& r) {
+  Event e;
+  auto origin = r.u32();
+  auto sequence = r.varint();
+  auto age = r.varint();
+  auto created_at = r.i64();
+  auto stream = r.varint();
+  auto flags = r.u8();
+  auto payload = r.bytes();
+  if (!origin || !sequence || !age || !created_at || !stream || !flags ||
+      !payload) {
+    return std::nullopt;
+  }
+  if (*age > 0xffffffffull || *stream > 0xffffffffull) return std::nullopt;
+  if ((*flags & ~1u) != 0) return std::nullopt;  // unknown flag bits
+  e.id = EventId{*origin, *sequence};
+  e.age = static_cast<std::uint32_t>(*age);
+  e.created_at = *created_at;
+  e.stream = static_cast<std::uint32_t>(*stream);
+  e.supersedes = (*flags & 1u) != 0;
+  if (!payload->empty()) e.payload = make_payload(std::move(*payload));
+  return e;
+}
+
+bool write_events(ByteWriter& w, const std::vector<Event>& events) {
+  w.varint(events.size());
+  for (const Event& e : events) write_event(w, e);
+  return true;
+}
+
+bool read_events(ByteReader& r, std::vector<Event>* out) {
+  auto count = r.varint();
+  if (!count || !plausible_count(*count, r.remaining(), 8)) return false;
+  out->reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto e = read_event(r);
+    if (!e) return false;
+    out->push_back(std::move(*e));
+  }
+  return true;
+}
+
+void write_event_ids(ByteWriter& w, const std::vector<EventId>& ids) {
+  w.varint(ids.size());
+  for (const EventId& id : ids) {
+    w.u32(id.origin);
+    w.varint(id.sequence);
+  }
+}
+
+bool read_event_ids(ByteReader& r, std::vector<EventId>* out) {
+  auto count = r.varint();
+  if (!count || !plausible_count(*count, r.remaining(), 5)) return false;
+  out->reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto origin = r.u32();
+    auto sequence = r.varint();
+    if (!origin || !sequence) return false;
+    out->push_back(EventId{*origin, *sequence});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> GossipMessage::encode() const {
+  ByteWriter w;
+  write_preamble(w, MessageType::kGossip, sender);
+  w.varint(round);
+  w.varint(period);
+  w.varint(min_buff);
+
+  w.varint(min_set.size());
+  for (const MinSetEntry& entry : min_set) {
+    w.u32(entry.node);
+    w.varint(entry.capacity);
+  }
+
+  w.varint(membership.subs.size());
+  for (NodeId node : membership.subs) w.u32(node);
+  w.varint(membership.unsubs.size());
+  for (NodeId node : membership.unsubs) w.u32(node);
+
+  write_events(w, events);
+  write_event_ids(w, seen_ids);
+  return std::move(w).take();
+}
+
+std::optional<GossipMessage> GossipMessage::decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto sender = read_preamble(r, MessageType::kGossip);
+  if (!sender) return std::nullopt;
+
+  GossipMessage m;
+  m.sender = *sender;
+  auto round = r.varint();
+  auto period = r.varint();
+  auto min_buff = r.varint();
+  if (!round || !period || !min_buff) return std::nullopt;
+  if (*min_buff > 0xffffffffull) return std::nullopt;
+  m.round = *round;
+  m.period = *period;
+  m.min_buff = static_cast<std::uint32_t>(*min_buff);
+
+  auto min_set_count = r.varint();
+  if (!min_set_count || !plausible_count(*min_set_count, r.remaining(), 5)) {
+    return std::nullopt;
+  }
+  m.min_set.reserve(static_cast<std::size_t>(*min_set_count));
+  for (std::uint64_t i = 0; i < *min_set_count; ++i) {
+    auto node = r.u32();
+    auto capacity = r.varint();
+    if (!node || !capacity.has_value() || *capacity > 0xffffffffull) {
+      return std::nullopt;
+    }
+    m.min_set.push_back(
+        MinSetEntry{*node, static_cast<std::uint32_t>(*capacity)});
+  }
+
+  auto subs_count = r.varint();
+  if (!subs_count || !plausible_count(*subs_count, r.remaining(), 4)) {
+    return std::nullopt;
+  }
+  m.membership.subs.reserve(static_cast<std::size_t>(*subs_count));
+  for (std::uint64_t i = 0; i < *subs_count; ++i) {
+    auto node = r.u32();
+    if (!node) return std::nullopt;
+    m.membership.subs.push_back(*node);
+  }
+
+  auto unsubs_count = r.varint();
+  if (!unsubs_count || !plausible_count(*unsubs_count, r.remaining(), 4)) {
+    return std::nullopt;
+  }
+  m.membership.unsubs.reserve(static_cast<std::size_t>(*unsubs_count));
+  for (std::uint64_t i = 0; i < *unsubs_count; ++i) {
+    auto node = r.u32();
+    if (!node) return std::nullopt;
+    m.membership.unsubs.push_back(*node);
+  }
+
+  if (!read_events(r, &m.events)) return std::nullopt;
+  if (!read_event_ids(r, &m.seen_ids)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;  // trailing garbage
+  return m;
+}
+
+std::vector<std::uint8_t> RepairRequest::encode() const {
+  ByteWriter w;
+  write_preamble(w, MessageType::kRepairRequest, sender);
+  write_event_ids(w, ids);
+  return std::move(w).take();
+}
+
+std::optional<RepairRequest> RepairRequest::decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto sender = read_preamble(r, MessageType::kRepairRequest);
+  if (!sender) return std::nullopt;
+  RepairRequest m;
+  m.sender = *sender;
+  if (!read_event_ids(r, &m.ids)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> RepairReply::encode() const {
+  ByteWriter w;
+  write_preamble(w, MessageType::kRepairReply, sender);
+  write_events(w, events);
+  return std::move(w).take();
+}
+
+std::optional<RepairReply> RepairReply::decode(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto sender = read_preamble(r, MessageType::kRepairReply);
+  if (!sender) return std::nullopt;
+  RepairReply m;
+  m.sender = *sender;
+  if (!read_events(r, &m.events)) return std::nullopt;
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+WireMessage decode_any(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) return std::monostate{};
+  switch (static_cast<MessageType>(bytes[3])) {
+    case MessageType::kGossip:
+      if (auto m = GossipMessage::decode(bytes)) return std::move(*m);
+      break;
+    case MessageType::kRepairRequest:
+      if (auto m = RepairRequest::decode(bytes)) return std::move(*m);
+      break;
+    case MessageType::kRepairReply:
+      if (auto m = RepairReply::decode(bytes)) return std::move(*m);
+      break;
+  }
+  return std::monostate{};
+}
+
+}  // namespace agb::gossip

@@ -1,0 +1,96 @@
+// Gossip wire message and its binary codec.
+//
+// One message type carries everything, exactly as the paper prescribes: the
+// buffered events, the lpbcast membership digest, and the two adaptation
+// header fields (sample period `s` and the sender's running minBuff
+// estimate) — adaptation adds *no* extra messages, only a few header bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "gossip/event.h"
+#include "membership/partial_view.h"
+
+namespace agb::gossip {
+
+inline constexpr std::uint16_t kWireMagic = 0xa64b;
+inline constexpr std::uint8_t kWireVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kGossip = 1,
+  kRepairRequest = 2,
+  kRepairReply = 3,
+};
+
+/// One entry of the robust minimum set (paper §6 extension): a node and the
+/// buffer capacity it advertised. Identities matter — computing "the k-th
+/// smallest buffer" requires deduplicating by node.
+struct MinSetEntry {
+  NodeId node = kInvalidNode;
+  std::uint32_t capacity = 0;
+  friend bool operator==(const MinSetEntry&, const MinSetEntry&) = default;
+};
+
+struct GossipMessage {
+  NodeId sender = kInvalidNode;
+  Round round = 0;
+
+  // Adaptation header (paper Fig. 5(a)): the sender's current sample period
+  // and its running estimate of the smallest buffer in the group.
+  PeriodId period = 0;
+  std::uint32_t min_buff = 0;
+
+  /// Robust-minimum extension (paper §6): the k smallest (node, capacity)
+  /// pairs known for `period`. Empty unless AdaptiveParams::robust_k > 1.
+  std::vector<MinSetEntry> min_set;
+
+  membership::MembershipDigest membership;
+  std::vector<Event> events;
+
+  /// Recovery digest (lpbcast): a sample of recently *seen* event ids, so
+  /// receivers can detect events they missed entirely and request repair.
+  /// Empty unless GossipParams::recovery.enabled.
+  std::vector<EventId> seen_ids;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Returns std::nullopt on any malformed input (wrong magic/version/type,
+  /// truncation, overlong counts). Never throws.
+  static std::optional<GossipMessage> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Directed request for events the sender believes it missed (it saw their
+/// ids in a peer's recovery digest but never received the events).
+struct RepairRequest {
+  NodeId sender = kInvalidNode;
+  std::vector<EventId> ids;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<RepairRequest> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Directed answer carrying the still-buffered events a repair asked for.
+struct RepairReply {
+  NodeId sender = kInvalidNode;
+  std::vector<Event> events;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<RepairReply> decode(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Any message the protocol can receive. std::monostate = malformed.
+using WireMessage =
+    std::variant<std::monostate, GossipMessage, RepairRequest, RepairReply>;
+
+/// Decodes any protocol message by its type byte.
+[[nodiscard]] WireMessage decode_any(std::span<const std::uint8_t> bytes);
+
+}  // namespace agb::gossip

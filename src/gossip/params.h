@@ -1,0 +1,58 @@
+// Configuration of the baseline gossip algorithm (paper Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace agb::gossip {
+
+/// Pull-based loss recovery (the retrieval phase of lpbcast, DSN 2001):
+/// gossip messages piggyback a digest of recently seen event ids; a node
+/// that learns of an id it never received asks the advertising peer for the
+/// event directly. Recovery repairs *past* omissions; the adaptive
+/// mechanism prevents *future* ones (paper §6) — they compose.
+struct RecoveryParams {
+  bool enabled = false;
+  /// How many recently-seen ids each gossip message advertises.
+  std::size_t seen_ids_per_gossip = 48;
+  /// How many ids the advertisement samples from (memory of recent ids).
+  std::size_t seen_ids_memory = 512;
+  /// Rounds to wait before asking — normal gossip usually fills the gap.
+  Round repair_after_rounds = 2;
+  /// Rounds after which an unanswered missing id is abandoned.
+  Round give_up_after_rounds = 8;
+  /// Bound on ids per repair-request message.
+  std::size_t max_ids_per_request = 32;
+  /// Events evicted from the live buffer stay retrievable (for answering
+  /// repairs only — they are not gossiped) for this many further rounds,
+  /// the long-term recovery buffering of Ozkasap et al. that the paper's
+  /// §5 discusses. 0 disables the retrieval store.
+  Round retrieve_rounds = 6;
+  /// Bound on the retrieval store (events).
+  std::size_t max_retrieve_events = 512;
+};
+
+struct GossipParams {
+  /// F: number of random targets per gossip round.
+  std::size_t fanout = 4;
+  /// T: interval between gossip rounds, in (virtual) milliseconds.
+  DurationMs gossip_period = 1000;
+  /// |events|max: bound on the buffered events; the resource the adaptive
+  /// mechanism reasons about. Changeable at runtime (dynamic resources).
+  std::size_t max_events = 60;
+  /// |eventIds|max: bound on the duplicate-suppression digest.
+  std::size_t max_event_ids = 400;
+  /// k: events older than this many hops are purged (assumed disseminated).
+  std::uint32_t max_age = 12;
+  /// Optional pull-based repair of missed events.
+  RecoveryParams recovery;
+  /// Semantic obsolescence (Pereira et al., paper §5): when enforcing the
+  /// buffer bound, evict events superseded by a newer buffered event of
+  /// their (origin, stream) *before* falling back to oldest-first. Focuses
+  /// scarce buffer space on messages that still carry meaning.
+  bool semantic_purge = false;
+};
+
+}  // namespace agb::gossip

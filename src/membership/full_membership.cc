@@ -1,0 +1,37 @@
+#include "membership/full_membership.h"
+
+#include <algorithm>
+
+namespace agb::membership {
+
+FullMembership::FullMembership(NodeId self, Rng rng)
+    : self_(self), rng_(rng) {}
+
+std::vector<NodeId> FullMembership::targets(std::size_t fanout) {
+  const auto indices = rng_.sample_indices(members_.size(), fanout);
+  std::vector<NodeId> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) out.push_back(members_[idx]);
+  return out;
+}
+
+void FullMembership::add(NodeId node) {
+  if (node == self_) return;
+  auto it = std::lower_bound(members_.begin(), members_.end(), node);
+  if (it == members_.end() || *it != node) members_.insert(it, node);
+}
+
+void FullMembership::remove(NodeId node) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), node);
+  if (it != members_.end() && *it == node) members_.erase(it);
+}
+
+bool FullMembership::contains(NodeId node) const {
+  return std::binary_search(members_.begin(), members_.end(), node);
+}
+
+std::size_t FullMembership::size() const { return members_.size(); }
+
+std::vector<NodeId> FullMembership::snapshot() const { return members_; }
+
+}  // namespace agb::membership

@@ -1,0 +1,30 @@
+// Complete group directory with uniform random target selection.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "membership/membership.h"
+
+namespace agb::membership {
+
+class FullMembership final : public Membership {
+ public:
+  /// `self` is excluded from target selection. `rng` drives sampling.
+  FullMembership(NodeId self, Rng rng);
+
+  std::vector<NodeId> targets(std::size_t fanout) override;
+  void add(NodeId node) override;
+  void remove(NodeId node) override;
+  [[nodiscard]] bool contains(NodeId node) const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::vector<NodeId> snapshot() const override;
+
+ private:
+  NodeId self_;
+  Rng rng_;
+  std::vector<NodeId> members_;  // sorted, excludes self_
+};
+
+}  // namespace agb::membership

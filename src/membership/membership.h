@@ -1,0 +1,39 @@
+// Group membership abstraction used to choose gossip targets.
+//
+// The paper's experiments use a static 60-member group; lpbcast itself is
+// defined over *partial* views. We provide both: FullMembership (a complete
+// directory, matching the paper's evaluation setup) and PartialView (the
+// lpbcast subs/unsubs view maintenance, so the adaptive mechanism can be run
+// over partial knowledge exactly as §5 claims it can).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace agb::membership {
+
+class Membership {
+ public:
+  virtual ~Membership() = default;
+
+  /// Up to `fanout` distinct gossip targets, never including the owner.
+  virtual std::vector<NodeId> targets(std::size_t fanout) = 0;
+
+  /// Records that `node` is (or claims to be) a member.
+  virtual void add(NodeId node) = 0;
+
+  /// Records that `node` left the group.
+  virtual void remove(NodeId node) = 0;
+
+  [[nodiscard]] virtual bool contains(NodeId node) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Current known members (unordered contract; sorted in practice for
+  /// determinism of iteration-driven logic).
+  [[nodiscard]] virtual std::vector<NodeId> snapshot() const = 0;
+};
+
+}  // namespace agb::membership

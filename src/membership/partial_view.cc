@@ -1,0 +1,89 @@
+#include "membership/partial_view.h"
+
+#include <algorithm>
+
+namespace agb::membership {
+
+PartialView::PartialView(NodeId self, PartialViewParams params, Rng rng)
+    : self_(self), params_(params), rng_(rng) {}
+
+bool PartialView::contains_in(const std::vector<NodeId>& set, NodeId node) {
+  return std::find(set.begin(), set.end(), node) != set.end();
+}
+
+void PartialView::erase_from(std::vector<NodeId>& set, NodeId node) {
+  set.erase(std::remove(set.begin(), set.end(), node), set.end());
+}
+
+void PartialView::insert_bounded(std::vector<NodeId>& set, NodeId node,
+                                 std::size_t bound) {
+  if (node == self_ || contains_in(set, node)) return;
+  set.push_back(node);
+  while (set.size() > bound) {
+    // Random replacement keeps the retained sample uniform over what was
+    // offered, the property lpbcast's analysis relies on.
+    const auto victim = static_cast<std::size_t>(rng_.next_below(set.size()));
+    set.erase(set.begin() + static_cast<long>(victim));
+  }
+}
+
+std::vector<NodeId> PartialView::targets(std::size_t fanout) {
+  const auto indices = rng_.sample_indices(view_.size(), fanout);
+  std::vector<NodeId> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) out.push_back(view_[idx]);
+  return out;
+}
+
+void PartialView::add(NodeId node) {
+  insert_bounded(view_, node, params_.max_view);
+  insert_bounded(subs_, node, params_.max_subs);
+}
+
+void PartialView::remove(NodeId node) {
+  erase_from(view_, node);
+  erase_from(subs_, node);
+  insert_bounded(unsubs_, node, params_.max_unsubs);
+}
+
+bool PartialView::contains(NodeId node) const {
+  return contains_in(view_, node);
+}
+
+std::size_t PartialView::size() const { return view_.size(); }
+
+std::vector<NodeId> PartialView::snapshot() const {
+  auto sorted = view_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+MembershipDigest PartialView::make_digest() {
+  MembershipDigest digest;
+  digest.subs = subs_;
+  digest.subs.push_back(self_);
+  digest.unsubs = unsubs_;
+  return digest;
+}
+
+void PartialView::apply_digest(NodeId from, const MembershipDigest& digest) {
+  // Unsubscriptions first: they must win over stale subscriptions carried in
+  // the same message.
+  for (NodeId node : digest.unsubs) {
+    if (node == self_) continue;
+    erase_from(view_, node);
+    erase_from(subs_, node);
+    insert_bounded(unsubs_, node, params_.max_unsubs);
+  }
+  for (NodeId node : digest.subs) {
+    if (node == self_ || contains_in(unsubs_, node)) continue;
+    insert_bounded(view_, node, params_.max_view);
+    insert_bounded(subs_, node, params_.max_subs);
+  }
+  // The sender itself is a live member by construction.
+  if (from != self_ && !contains_in(unsubs_, from)) {
+    insert_bounded(view_, from, params_.max_view);
+  }
+}
+
+}  // namespace agb::membership

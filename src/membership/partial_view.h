@@ -1,0 +1,70 @@
+// lpbcast-style partial view maintenance (Eugster et al., DSN 2001).
+//
+// Each node keeps three bounded sets: `view` (gossip targets), `subs`
+// (recently seen subscriptions to propagate) and `unsubs` (recently seen
+// unsubscriptions). Gossip messages piggyback samples of subs/unsubs; on
+// reception the view is updated and truncated by *random* replacement, which
+// is what gives lpbcast views their uniform-random quality.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "membership/membership.h"
+
+namespace agb::membership {
+
+struct PartialViewParams {
+  std::size_t max_view = 12;    // |view| bound (lpbcast's l)
+  std::size_t max_subs = 12;    // |subs| bound
+  std::size_t max_unsubs = 12;  // |unsubs| bound
+};
+
+/// Membership data piggybacked on one gossip message.
+struct MembershipDigest {
+  std::vector<NodeId> subs;
+  std::vector<NodeId> unsubs;
+};
+
+class PartialView final : public Membership {
+ public:
+  PartialView(NodeId self, PartialViewParams params, Rng rng);
+
+  // Membership interface. add() corresponds to observing a subscription;
+  // remove() to observing an unsubscription.
+  std::vector<NodeId> targets(std::size_t fanout) override;
+  void add(NodeId node) override;
+  void remove(NodeId node) override;
+  [[nodiscard]] bool contains(NodeId node) const override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::vector<NodeId> snapshot() const override;
+
+  /// Builds the digest to embed in an outgoing gossip message. The sender
+  /// always includes itself in subs so that its subscription keeps
+  /// circulating (lpbcast rule).
+  [[nodiscard]] MembershipDigest make_digest();
+
+  /// Applies the digest from a received gossip message sent by `from`.
+  void apply_digest(NodeId from, const MembershipDigest& digest);
+
+  [[nodiscard]] const std::vector<NodeId>& view() const noexcept {
+    return view_;
+  }
+
+ private:
+  void insert_bounded(std::vector<NodeId>& set, NodeId node,
+                      std::size_t bound);
+  static bool contains_in(const std::vector<NodeId>& set, NodeId node);
+  static void erase_from(std::vector<NodeId>& set, NodeId node);
+
+  NodeId self_;
+  PartialViewParams params_;
+  Rng rng_;
+  std::vector<NodeId> view_;
+  std::vector<NodeId> subs_;
+  std::vector<NodeId> unsubs_;
+};
+
+}  // namespace agb::membership

@@ -1,0 +1,123 @@
+#include "metrics/delivery_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agb::metrics {
+
+DeliveryTracker::DeliveryTracker(std::size_t group_size,
+                                 double atomic_fraction)
+    : group_size_(group_size), atomic_fraction_(atomic_fraction) {}
+
+std::uint32_t DeliveryTracker::atomic_threshold() const noexcept {
+  // Strictly more than fraction*n receivers, matching ">95% of receivers".
+  return static_cast<std::uint32_t>(
+      std::floor(atomic_fraction_ * static_cast<double>(group_size_))) + 1;
+}
+
+void DeliveryTracker::on_broadcast(const EventId& id, NodeId /*origin*/,
+                                   TimeMs now) {
+  auto [it, inserted] = records_.try_emplace(id);
+  if (!inserted) return;  // duplicate broadcast id: keep first record
+  it->second.created_at = now;
+  it->second.seen.assign(group_size_, false);
+}
+
+void DeliveryTracker::on_delivery(const EventId& id, NodeId node, TimeMs now) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return;  // delivery for an untracked message
+  Record& rec = it->second;
+  if (node >= rec.seen.size() || rec.seen[node]) return;
+  rec.seen[node] = true;
+  ++rec.receivers;
+  if (rec.atomic_at < 0 && rec.receivers >= atomic_threshold()) {
+    rec.atomic_at = now;
+  }
+}
+
+DeliveryReport DeliveryTracker::report(TimeMs from, TimeMs to) const {
+  DeliveryReport report;
+  report.window_s = static_cast<double>(to - from) / 1000.0;
+  RunningStats receiver_pct;
+  SampleSet latencies;
+  std::uint64_t atomic = 0;
+
+  for (const auto& [id, rec] : records_) {
+    if (rec.created_at < from || rec.created_at >= to) continue;
+    ++report.messages;
+    receiver_pct.add(100.0 * static_cast<double>(rec.receivers) /
+                     static_cast<double>(group_size_));
+    if (rec.atomic_at >= 0) {
+      ++atomic;
+      latencies.add(static_cast<double>(rec.atomic_at - rec.created_at));
+    }
+  }
+
+  report.avg_receiver_pct = receiver_pct.mean();
+  if (report.messages > 0) {
+    report.atomicity_pct =
+        100.0 * static_cast<double>(atomic) /
+        static_cast<double>(report.messages);
+  }
+  if (report.window_s > 0.0) {
+    report.input_rate =
+        static_cast<double>(report.messages) / report.window_s;
+    report.output_rate = static_cast<double>(atomic) / report.window_s;
+  }
+  report.latency_p50_ms = latencies.quantile(0.5);
+  report.latency_p99_ms = latencies.quantile(0.99);
+  return report;
+}
+
+std::vector<std::pair<TimeMs, double>> DeliveryTracker::atomicity_series(
+    TimeMs from, TimeMs to, DurationMs bucket_ms) const {
+  const auto buckets =
+      static_cast<std::size_t>((to - from + bucket_ms - 1) / bucket_ms);
+  std::vector<std::uint64_t> total(buckets, 0);
+  std::vector<std::uint64_t> atomic(buckets, 0);
+  for (const auto& [id, rec] : records_) {
+    if (rec.created_at < from || rec.created_at >= to) continue;
+    const auto b = static_cast<std::size_t>((rec.created_at - from) /
+                                            bucket_ms);
+    ++total[b];
+    if (rec.atomic_at >= 0) ++atomic[b];
+  }
+  std::vector<std::pair<TimeMs, double>> series;
+  series.reserve(buckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double pct =
+        total[b] == 0 ? 100.0
+                      : 100.0 * static_cast<double>(atomic[b]) /
+                            static_cast<double>(total[b]);
+    series.emplace_back(from + static_cast<TimeMs>(b) * bucket_ms, pct);
+  }
+  return series;
+}
+
+std::vector<std::pair<TimeMs, double>> DeliveryTracker::input_rate_series(
+    TimeMs from, TimeMs to, DurationMs bucket_ms) const {
+  const auto buckets =
+      static_cast<std::size_t>((to - from + bucket_ms - 1) / bucket_ms);
+  std::vector<std::uint64_t> total(buckets, 0);
+  for (const auto& [id, rec] : records_) {
+    if (rec.created_at < from || rec.created_at >= to) continue;
+    ++total[static_cast<std::size_t>((rec.created_at - from) / bucket_ms)];
+  }
+  std::vector<std::pair<TimeMs, double>> series;
+  series.reserve(buckets);
+  const double bucket_s = static_cast<double>(bucket_ms) / 1000.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    series.emplace_back(from + static_cast<TimeMs>(b) * bucket_ms,
+                        static_cast<double>(total[b]) / bucket_s);
+  }
+  return series;
+}
+
+double DeliveryTracker::receiver_fraction(const EventId& id) const {
+  auto it = records_.find(id);
+  if (it == records_.end()) return 0.0;
+  return static_cast<double>(it->second.receivers) /
+         static_cast<double>(group_size_);
+}
+
+}  // namespace agb::metrics

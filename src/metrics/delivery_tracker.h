@@ -1,0 +1,78 @@
+// Ground-truth delivery accounting for experiments.
+//
+// The tracker observes every broadcast and every per-node delivery in a run
+// and computes the paper's evaluation metrics:
+//   * average % of receivers per message            (Fig. 8(a));
+//   * atomicity: % of messages delivered to more than a configurable
+//     fraction (95 %) of the group                  (Figs. 2, 8(b), 9(b));
+//   * input rate (admitted broadcasts) and output rate (atomic messages)
+//                                                   (Figs. 6, 7(a), 7(b));
+//   * dissemination latency percentiles (extra: not in the paper, useful).
+// Only messages created inside the evaluation window [from, to) are counted,
+// so warm-up transients and the not-yet-disseminated tail are excluded.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace agb::metrics {
+
+struct DeliveryReport {
+  std::uint64_t messages = 0;         // evaluated broadcasts
+  double window_s = 0.0;              // evaluation window length
+  double input_rate = 0.0;            // evaluated broadcasts per second
+  double output_rate = 0.0;           // atomic messages per second
+  double avg_receiver_pct = 0.0;      // mean % of group reached
+  double atomicity_pct = 0.0;         // % messages reaching > threshold
+  double latency_p50_ms = 0.0;        // time to reach the threshold
+  double latency_p99_ms = 0.0;
+};
+
+class DeliveryTracker {
+ public:
+  /// `group_size` includes origins (the origin's local delivery counts, as
+  /// in the paper's "% of participant processes").
+  /// `atomic_fraction`: a message is atomic when delivered to strictly more
+  /// than this fraction of the group (paper: >95 %).
+  DeliveryTracker(std::size_t group_size, double atomic_fraction = 0.95);
+
+  void on_broadcast(const EventId& id, NodeId origin, TimeMs now);
+  void on_delivery(const EventId& id, NodeId node, TimeMs now);
+
+  /// Metrics over messages created in [from, to).
+  [[nodiscard]] DeliveryReport report(TimeMs from, TimeMs to) const;
+
+  /// Atomicity per time bucket of `bucket_ms`, over [from, to): pairs of
+  /// (bucket start time, atomicity % of messages created in that bucket).
+  [[nodiscard]] std::vector<std::pair<TimeMs, double>> atomicity_series(
+      TimeMs from, TimeMs to, DurationMs bucket_ms) const;
+
+  /// Messages-per-second admitted, bucketed the same way.
+  [[nodiscard]] std::vector<std::pair<TimeMs, double>> input_rate_series(
+      TimeMs from, TimeMs to, DurationMs bucket_ms) const;
+
+  /// Receiver fraction of one message (for tests); 0 if unknown.
+  [[nodiscard]] double receiver_fraction(const EventId& id) const;
+
+  [[nodiscard]] std::size_t group_size() const noexcept { return group_size_; }
+
+ private:
+  struct Record {
+    TimeMs created_at = 0;
+    std::uint32_t receivers = 0;
+    TimeMs atomic_at = -1;           // first time the threshold was crossed
+    std::vector<bool> seen;          // per-node delivery bit
+  };
+
+  [[nodiscard]] std::uint32_t atomic_threshold() const noexcept;
+
+  std::size_t group_size_;
+  double atomic_fraction_;
+  std::unordered_map<EventId, Record> records_;
+};
+
+}  // namespace agb::metrics

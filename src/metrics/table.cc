@@ -1,0 +1,60 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+namespace agb::metrics {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << value;
+  return ss.str();
+}
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& values,
+                            int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(widths[c]));
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < columns_.size()) rule += "  ";
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace agb::metrics

@@ -1,0 +1,31 @@
+// Fixed-width console tables for the benchmark harness. Every bench prints
+// the same rows/series the paper's figures plot, via this formatter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace agb::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; the cell count must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows (fixed precision).
+  void add_numeric_row(const std::vector<double>& values, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by benches).
+std::string fmt(double value, int precision = 2);
+
+}  // namespace agb::metrics

@@ -1,0 +1,42 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+
+namespace agb::metrics {
+
+double TimeSeries::mean_in(TimeMs from, TimeMs to) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& [t, v] : points_) {
+    if (t < from || t >= to) continue;
+    sum += v;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double TimeSeries::value_at(TimeMs t, double fallback) const {
+  double value = fallback;
+  for (const auto& [pt, pv] : points_) {
+    if (pt > t) break;
+    value = pv;
+  }
+  return value;
+}
+
+void write_csv(std::ostream& os,
+               const std::vector<const TimeSeries*>& series) {
+  if (series.empty()) return;
+  os << "time_ms";
+  for (const TimeSeries* s : series) os << "," << s->name();
+  os << "\n";
+  for (const auto& [t, v] : series[0]->points()) {
+    os << t << "," << v;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      os << "," << series[i]->value_at(t);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace agb::metrics

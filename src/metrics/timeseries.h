@@ -1,0 +1,44 @@
+// Simple (time, value) series with CSV export; used by the dynamic-buffer
+// experiment (paper Fig. 9) and example programs.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace agb::metrics {
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(TimeMs t, double value) { points_.emplace_back(t, value); }
+
+  [[nodiscard]] const std::vector<std::pair<TimeMs, double>>& points()
+      const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Mean of values with t in [from, to).
+  [[nodiscard]] double mean_in(TimeMs from, TimeMs to) const;
+
+  /// Last value at or before `t`; `fallback` when none.
+  [[nodiscard]] double value_at(TimeMs t, double fallback = 0.0) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<TimeMs, double>> points_;
+};
+
+/// Writes aligned-column series to a stream: "t,series1,series2,..." with
+/// one row per distinct timestamp of the first series.
+void write_csv(std::ostream& os, const std::vector<const TimeSeries*>& series);
+
+}  // namespace agb::metrics

@@ -1,0 +1,100 @@
+#include "runtime/inmemory_fabric.h"
+
+#include <chrono>
+
+namespace agb::runtime {
+
+InMemoryFabric::InMemoryFabric(Params params, std::uint64_t seed)
+    : params_(params),
+      epoch_(std::chrono::steady_clock::now()),
+      rng_(seed),
+      dispatcher_([this] { dispatch_loop(); }) {}
+
+InMemoryFabric::~InMemoryFabric() { shutdown(); }
+
+TimeMs InMemoryFabric::now() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void InMemoryFabric::attach(NodeId node, DatagramHandler handler) {
+  std::lock_guard lock(mutex_);
+  handlers_[node] = std::move(handler);
+}
+
+void InMemoryFabric::detach(NodeId node) {
+  std::lock_guard lock(mutex_);
+  handlers_.erase(node);
+}
+
+void InMemoryFabric::send(Datagram datagram) {
+  std::lock_guard lock(mutex_);
+  if (stopping_) return;
+  if (rng_.bernoulli(params_.loss_probability)) {
+    ++dropped_;
+    return;
+  }
+  const DurationMs spread = params_.max_delay - params_.min_delay;
+  const DurationMs delay =
+      params_.min_delay +
+      (spread > 0
+           ? static_cast<DurationMs>(
+                 rng_.next_below(static_cast<std::uint64_t>(spread) + 1))
+           : 0);
+  queue_.emplace(now() + delay, std::move(datagram));
+  cv_.notify_one();
+}
+
+std::uint64_t InMemoryFabric::delivered() const {
+  std::lock_guard lock(mutex_);
+  return delivered_;
+}
+
+std::uint64_t InMemoryFabric::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void InMemoryFabric::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      // Already shut down; just make sure the thread is joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void InMemoryFabric::dispatch_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const TimeMs due = queue_.begin()->first;
+    const TimeMs current = now();
+    if (due > current) {
+      cv_.wait_for(lock, std::chrono::milliseconds(due - current));
+      continue;
+    }
+    Datagram datagram = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    auto it = handlers_.find(datagram.to);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      continue;
+    }
+    DatagramHandler handler = it->second;  // copy: handler may detach
+    ++delivered_;
+    lock.unlock();
+    handler(datagram, now());
+    lock.lock();
+  }
+}
+
+}  // namespace agb::runtime

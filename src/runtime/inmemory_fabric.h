@@ -1,0 +1,70 @@
+// Threaded in-memory datagram fabric (wall-clock twin of sim::SimNetwork).
+//
+// The paper validates its simulations against a prototype running on 60
+// workstations; our runtime substitutes an in-process fabric: real threads,
+// real wall-clock timing, real serialized datagrams, optional loss and
+// delay injection. A single dispatcher thread owns a delay-ordered queue
+// and invokes receiver handlers; handlers run on the dispatcher thread and
+// must synchronise their own state (runtime::NodeRuntime does).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/datagram.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace agb::runtime {
+
+class InMemoryFabric final : public DatagramNetwork {
+ public:
+  struct Params {
+    double loss_probability = 0.0;
+    DurationMs min_delay = 0;
+    DurationMs max_delay = 2;
+  };
+
+  explicit InMemoryFabric(Params params, std::uint64_t seed = 1);
+  ~InMemoryFabric() override;
+
+  InMemoryFabric(const InMemoryFabric&) = delete;
+  InMemoryFabric& operator=(const InMemoryFabric&) = delete;
+
+  void attach(NodeId node, DatagramHandler handler) override;
+  void detach(NodeId node) override;
+  void send(Datagram datagram) override;
+
+  /// Milliseconds since the fabric was created (the runtime's clock).
+  [[nodiscard]] TimeMs now() const;
+
+  [[nodiscard]] std::uint64_t delivered() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Stops the dispatcher; queued datagrams are discarded. Called by the
+  /// destructor; safe to call more than once.
+  void shutdown();
+
+ private:
+  void dispatch_loop();
+
+  Params params_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<TimeMs, Datagram> queue_;  // keyed by due time
+  std::unordered_map<NodeId, DatagramHandler> handlers_;
+  Rng rng_;
+  bool stopping_ = false;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace agb::runtime

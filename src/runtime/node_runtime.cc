@@ -1,0 +1,125 @@
+#include "runtime/node_runtime.h"
+
+#include <chrono>
+
+namespace agb::runtime {
+
+NodeRuntime::NodeRuntime(std::unique_ptr<gossip::LpbcastNode> node,
+                         DatagramNetwork& network, Clock clock)
+    : node_(std::move(node)),
+      adaptive_(dynamic_cast<adaptive::AdaptiveLpbcastNode*>(node_.get())),
+      network_(network),
+      clock_(std::move(clock)) {
+  network_.attach(node_->id(), [this](const Datagram& d, TimeMs now) {
+    on_datagram(d, now);
+  });
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+void NodeRuntime::set_deliver_handler(DeliverFn fn) {
+  std::lock_guard lock(mutex_);
+  node_->set_deliver_handler(std::move(fn));
+}
+
+void NodeRuntime::start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  round_thread_ = std::thread([this] { round_loop(); });
+}
+
+void NodeRuntime::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_ || stopping_.load()) {
+      if (!started_) network_.detach(node_->id());
+      stopping_.store(true);
+    } else {
+      stopping_.store(true);
+    }
+  }
+  cv_.notify_all();
+  if (round_thread_.joinable()) round_thread_.join();
+  network_.detach(node_->id());
+}
+
+void NodeRuntime::round_loop() {
+  const auto period =
+      std::chrono::milliseconds(node_->params().gossip_period);
+  std::unique_lock lock(mutex_);
+  while (!stopping_.load()) {
+    cv_.wait_for(lock, period, [this] { return stopping_.load(); });
+    if (stopping_.load()) return;
+    auto out = node_->on_round(clock_());
+    auto controls = node_->take_outbox();
+    auto bytes = out.targets.empty() ? std::vector<std::uint8_t>{}
+                                     : out.message.encode();
+    const NodeId self = node_->id();
+    lock.unlock();  // never hold the node lock across network calls
+    for (NodeId target : out.targets) {
+      network_.send(Datagram{self, target, bytes});
+    }
+    for (auto& control : controls) {
+      network_.send(Datagram{self, control.target,
+                             std::move(control.payload)});
+    }
+    lock.lock();
+  }
+}
+
+void NodeRuntime::on_datagram(const Datagram& datagram, TimeMs now) {
+  auto message = gossip::decode_any(datagram.payload);
+  std::vector<gossip::LpbcastNode::ControlDatagram> controls;
+  const NodeId self = node_->id();
+  {
+    std::lock_guard lock(mutex_);
+    if (!node_->on_wire(message, now)) return;
+    controls = node_->take_outbox();
+  }
+  for (auto& control : controls) {
+    network_.send(Datagram{self, control.target, std::move(control.payload)});
+  }
+}
+
+EventId NodeRuntime::broadcast(gossip::Payload payload) {
+  std::lock_guard lock(mutex_);
+  return node_->broadcast(std::move(payload), clock_());
+}
+
+bool NodeRuntime::try_broadcast(gossip::Payload payload, EventId* out_id) {
+  std::lock_guard lock(mutex_);
+  if (adaptive_ == nullptr) return false;
+  return adaptive_->try_broadcast(std::move(payload), clock_(), out_id);
+}
+
+gossip::NodeCounters NodeRuntime::counters() const {
+  std::lock_guard lock(mutex_);
+  return node_->counters();
+}
+
+double NodeRuntime::allowed_rate() const {
+  std::lock_guard lock(mutex_);
+  return adaptive_ ? adaptive_->allowed_rate() : 0.0;
+}
+
+std::uint32_t NodeRuntime::min_buff() const {
+  std::lock_guard lock(mutex_);
+  return adaptive_ ? adaptive_->min_buff() : 0;
+}
+
+double NodeRuntime::avg_age() const {
+  std::lock_guard lock(mutex_);
+  return adaptive_ ? adaptive_->avg_age() : 0.0;
+}
+
+void NodeRuntime::set_capacity(std::size_t max_events) {
+  std::lock_guard lock(mutex_);
+  if (adaptive_ != nullptr) {
+    adaptive_->set_capacity(max_events, clock_());
+  } else {
+    node_->set_max_events(max_events, clock_());
+  }
+}
+
+}  // namespace agb::runtime

@@ -1,0 +1,82 @@
+// Wall-clock driver for one protocol node over a real transport.
+//
+// NodeRuntime owns a gossip::LpbcastNode (baseline or adaptive), runs its
+// gossip rounds on a dedicated thread, decodes incoming datagrams from the
+// transport, and exposes a thread-safe broadcast entry point. It is the
+// runtime counterpart of the simulation harness in src/core: same state
+// machines, same codec, real time and threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "adaptive/adaptive_node.h"
+#include "common/datagram.h"
+#include "gossip/lpbcast_node.h"
+
+namespace agb::runtime {
+
+class NodeRuntime {
+ public:
+  using Clock = std::function<TimeMs()>;
+  using DeliverFn = gossip::LpbcastNode::DeliverFn;
+
+  /// Takes ownership of `node`. `clock` must be monotone and shared by all
+  /// runtimes on the fabric (e.g. InMemoryFabric::now). The runtime attaches
+  /// itself to `network` under the node's id.
+  NodeRuntime(std::unique_ptr<gossip::LpbcastNode> node,
+              DatagramNetwork& network, Clock clock);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Must be called before start(); fires on the round/receive threads.
+  void set_deliver_handler(DeliverFn fn);
+
+  /// Starts the round thread.
+  void start();
+
+  /// Stops the round thread and detaches from the network.
+  void stop();
+
+  /// Baseline broadcast (always admitted). Thread-safe.
+  EventId broadcast(gossip::Payload payload);
+
+  /// Adaptive, token-gated broadcast. Returns false when the node is not
+  /// adaptive-capable or out of tokens. Thread-safe.
+  bool try_broadcast(gossip::Payload payload, EventId* out_id = nullptr);
+
+  [[nodiscard]] NodeId id() const { return node_->id(); }
+  [[nodiscard]] bool adaptive() const { return adaptive_ != nullptr; }
+
+  /// Snapshot accessors (lock internally).
+  [[nodiscard]] gossip::NodeCounters counters() const;
+  [[nodiscard]] double allowed_rate() const;
+  [[nodiscard]] std::uint32_t min_buff() const;
+  [[nodiscard]] double avg_age() const;
+
+  /// Runtime equivalent of the dynamic-resources experiment.
+  void set_capacity(std::size_t max_events);
+
+ private:
+  void round_loop();
+  void on_datagram(const Datagram& datagram, TimeMs now);
+
+  std::unique_ptr<gossip::LpbcastNode> node_;
+  adaptive::AdaptiveLpbcastNode* adaptive_;  // non-owning downcast
+  DatagramNetwork& network_;
+  Clock clock_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread round_thread_;
+};
+
+}  // namespace agb::runtime

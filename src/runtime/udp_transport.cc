@@ -1,0 +1,136 @@
+#include "runtime/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace agb::runtime {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+struct UdpTransport::Endpoint {
+  int fd = -1;
+  NodeId node = kInvalidNode;
+  DatagramHandler handler;
+  std::thread rx_thread;
+  std::atomic<bool> stopping{false};
+
+  ~Endpoint() {
+    stopping.store(true);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    if (rx_thread.joinable()) rx_thread.join();
+  }
+};
+
+UdpTransport::UdpTransport(std::uint16_t base_port)
+    : base_port_(base_port), epoch_(std::chrono::steady_clock::now()) {}
+
+UdpTransport::~UdpTransport() {
+  std::lock_guard lock(mutex_);
+  endpoints_.clear();
+}
+
+TimeMs UdpTransport::now() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void UdpTransport::attach(NodeId node, DatagramHandler handler) {
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->node = node;
+  endpoint->handler = std::move(handler);
+
+  endpoint->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (endpoint->fd < 0) throw std::runtime_error("udp socket() failed");
+  const int reuse = 1;
+  ::setsockopt(endpoint->fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  auto addr = loopback_address(static_cast<std::uint16_t>(base_port_ + node));
+  if (::bind(endpoint->fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(endpoint->fd);
+    throw std::runtime_error("udp bind() failed for node " +
+                             std::to_string(node));
+  }
+
+  Endpoint* raw = endpoint.get();
+  endpoint->rx_thread = std::thread([this, raw] {
+    std::vector<std::uint8_t> buf(kMaxDatagram);
+    while (!raw->stopping.load()) {
+      const ssize_t got = ::recv(raw->fd, buf.data(), buf.size(), 0);
+      if (got <= 0) {
+        if (raw->stopping.load()) return;
+        continue;  // transient error; sockets are closed only on detach
+      }
+      if (got < 4) continue;  // missing sender prefix: malformed
+      NodeId from = 0;
+      std::memcpy(&from, buf.data(), 4);
+      Datagram datagram;
+      datagram.from = from;
+      datagram.to = raw->node;
+      datagram.payload.assign(buf.begin() + 4, buf.begin() + got);
+      raw->handler(datagram, now());
+    }
+  });
+
+  std::lock_guard lock(mutex_);
+  endpoints_[node] = std::move(endpoint);
+}
+
+void UdpTransport::detach(NodeId node) {
+  std::unique_ptr<Endpoint> victim;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(node);
+    if (it == endpoints_.end()) return;
+    victim = std::move(it->second);
+    endpoints_.erase(it);
+  }
+  // Destructor closes the socket and joins the thread outside the lock.
+}
+
+void UdpTransport::send(Datagram datagram) {
+  int fd = -1;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = endpoints_.find(datagram.from);
+    if (it == endpoints_.end()) {
+      send_failures_.fetch_add(1);
+      return;
+    }
+    fd = it->second->fd;
+  }
+  std::vector<std::uint8_t> wire(4 + datagram.payload.size());
+  std::memcpy(wire.data(), &datagram.from, 4);
+  std::memcpy(wire.data() + 4, datagram.payload.data(),
+              datagram.payload.size());
+  auto addr =
+      loopback_address(static_cast<std::uint16_t>(base_port_ + datagram.to));
+  const ssize_t sent =
+      ::sendto(fd, wire.data(), wire.size(), 0,
+               reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0) send_failures_.fetch_add(1);
+}
+
+}  // namespace agb::runtime

@@ -1,0 +1,53 @@
+// UDP socket transport: the protocol over a real network stack.
+//
+// Each attached node gets its own datagram socket bound to
+// 127.0.0.1:(base_port + node id) and a receive thread. A 4-byte
+// little-endian sender id prefixes every payload so receivers know the
+// gossip peer without trusting source addresses. This is the closest
+// laptop-scale equivalent of the paper's 60-workstation Ethernet
+// deployment; multi-host runs only need the address map generalised.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/datagram.h"
+#include "common/types.h"
+
+namespace agb::runtime {
+
+class UdpTransport final : public DatagramNetwork {
+ public:
+  /// Node `i` is reachable at 127.0.0.1:(base_port + i).
+  explicit UdpTransport(std::uint16_t base_port);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds the node's socket and starts its receive thread. Throws
+  /// std::runtime_error if the port cannot be bound.
+  void attach(NodeId node, DatagramHandler handler) override;
+  void detach(NodeId node) override;
+  void send(Datagram datagram) override;
+
+  [[nodiscard]] TimeMs now() const;
+  [[nodiscard]] std::uint64_t send_failures() const {
+    return send_failures_.load();
+  }
+
+ private:
+  struct Endpoint;
+
+  std::uint16_t base_port_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<std::uint64_t> send_failures_{0};
+};
+
+}  // namespace agb::runtime

@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <optional>
+
+namespace agb::sim {
+
+EventHandle EventQueue::schedule(TimeMs at, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{alive};
+  heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
+  return handle;
+}
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+  }
+}
+
+std::optional<EventQueue::Fired> EventQueue::pop() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  // priority_queue::top() is const, so take a copy (the callable is a
+  // shared-state std::function; the copy is cheap relative to event cost).
+  Entry entry = heap_.top();
+  heap_.pop();
+  *entry.alive = false;  // fired events cannot be cancelled retroactively
+  return Fired{entry.at, std::move(entry.fn)};
+}
+
+std::optional<TimeMs> EventQueue::peek_time() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().at;
+}
+
+bool EventQueue::empty() {
+  drop_dead();
+  return heap_.empty();
+}
+
+}  // namespace agb::sim

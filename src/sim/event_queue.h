@@ -1,0 +1,85 @@
+// Priority queue of timestamped callbacks for the discrete-event simulator.
+//
+// Events at equal timestamps fire in scheduling order (stable), which keeps
+// simulations deterministic. Cancellation is O(1) via a shared tombstone
+// flag; cancelled entries are skipped at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace agb::sim {
+
+/// Handle returned by EventQueue::schedule; cancel() is idempotent and safe
+/// after the event has fired (it becomes a no-op).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the callback from running if it has not run yet.
+  void cancel() noexcept {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+  [[nodiscard]] bool pending() const noexcept {
+    auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  /// Enqueues `fn` to run at absolute time `at` (must be >= the time of the
+  /// last popped event for causality; enforced by Simulator, not here).
+  EventHandle schedule(TimeMs at, std::function<void()> fn);
+
+  /// A popped event, ready to invoke. The queue has already marked it as
+  /// fired; the caller advances its clock to `at` *before* calling `fn` so
+  /// that callbacks observe the correct current time.
+  struct Fired {
+    TimeMs at;
+    std::function<void()> fn;
+  };
+
+  /// Pops the next live event without running it; std::nullopt when empty.
+  std::optional<Fired> pop();
+
+  /// Timestamp of the next live event without running it.
+  [[nodiscard]] std::optional<TimeMs> peek_time();
+
+  [[nodiscard]] bool empty();
+  /// Upper bound on pending events (cancelled entries are lazily collected).
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    TimeMs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace agb::sim

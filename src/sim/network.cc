@@ -1,0 +1,126 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agb::sim {
+
+namespace {
+
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+DurationMs LatencyModel::sample(Rng& rng) const {
+  double delay = 0.0;
+  switch (kind) {
+    case Kind::kFixed:
+      delay = a;
+      break;
+    case Kind::kUniform:
+      delay = a + (b - a) * rng.uniform();
+      break;
+    case Kind::kNormal:
+      delay = rng.normal(a, b);
+      break;
+  }
+  return static_cast<DurationMs>(std::llround(std::max(delay, 0.0)));
+}
+
+SimNetwork::SimNetwork(Simulator& sim, NetworkParams params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {}
+
+void SimNetwork::attach(NodeId node, DatagramHandler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimNetwork::detach(NodeId node) { handlers_.erase(node); }
+
+bool SimNetwork::loss_drop() {
+  switch (params_.loss.kind) {
+    case LossModel::Kind::kNone:
+      return false;
+    case LossModel::Kind::kIid:
+      return rng_.bernoulli(params_.loss.p);
+    case LossModel::Kind::kBurst: {
+      // Advance the Gilbert-Elliott chain once per packet, then sample the
+      // state-conditional drop probability.
+      if (burst_bad_) {
+        if (rng_.bernoulli(params_.loss.p_bg)) burst_bad_ = false;
+      } else {
+        if (rng_.bernoulli(params_.loss.p_gb)) burst_bad_ = true;
+      }
+      return rng_.bernoulli(burst_bad_ ? params_.loss.p_bad
+                                       : params_.loss.p_good);
+    }
+  }
+  return false;
+}
+
+void SimNetwork::send(Datagram datagram) {
+  ++stats_.sent;
+  if (down_.contains(datagram.from) || down_.contains(datagram.to)) {
+    ++stats_.dropped_down;
+    return;
+  }
+  if (partitioned(datagram.from, datagram.to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (loss_drop()) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  const LatencyModel* latency = &params_.latency;
+  if (!link_latency_.empty()) {
+    auto it = link_latency_.find(ordered(datagram.from, datagram.to));
+    if (it != link_latency_.end()) latency = &it->second;
+  }
+  const DurationMs delay = latency->sample(rng_);
+  sim_.after(delay, [this, d = std::move(datagram)]() mutable {
+    if (down_.contains(d.to)) {
+      ++stats_.dropped_down;
+      return;
+    }
+    auto it = handlers_.find(d.to);
+    if (it == handlers_.end()) {
+      ++stats_.dropped_detached;
+      return;
+    }
+    ++stats_.delivered;
+    stats_.bytes_delivered += d.payload.size();
+    it->second(d, sim_.now());
+  });
+}
+
+void SimNetwork::set_node_up(NodeId node, bool up) {
+  if (up) {
+    down_.erase(node);
+  } else {
+    down_.insert(node);
+  }
+}
+
+bool SimNetwork::node_up(NodeId node) const { return !down_.contains(node); }
+
+void SimNetwork::partition(NodeId a, NodeId b) {
+  partitions_.insert(ordered(a, b));
+}
+
+void SimNetwork::heal(NodeId a, NodeId b) { partitions_.erase(ordered(a, b)); }
+
+void SimNetwork::heal_all() { partitions_.clear(); }
+
+bool SimNetwork::partitioned(NodeId a, NodeId b) const {
+  return partitions_.contains(ordered(a, b));
+}
+
+void SimNetwork::set_link_latency(NodeId a, NodeId b, LatencyModel model) {
+  link_latency_[ordered(a, b)] = model;
+}
+
+void SimNetwork::clear_link_latencies() { link_latency_.clear(); }
+
+}  // namespace agb::sim

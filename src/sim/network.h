@@ -1,0 +1,132 @@
+// Simulated best-effort datagram network.
+//
+// Substitutes for the paper's Ethernet LAN of 60 workstations: point-to-point
+// datagrams with a pluggable latency distribution, a pluggable loss process
+// (i.i.d. or bursty Gilbert-Elliott, since the paper notes that correlated
+// loss hurts gossip), pairwise partitions and per-node crash/recover. All
+// randomness is drawn from one seeded Rng, so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/datagram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace agb::sim {
+
+/// Latency distribution for one datagram hop.
+struct LatencyModel {
+  enum class Kind { kFixed, kUniform, kNormal };
+  Kind kind = Kind::kFixed;
+  double a = 1.0;  // fixed: delay; uniform: lo; normal: mean
+  double b = 0.0;  // uniform: hi; normal: stddev
+
+  static LatencyModel fixed(double delay_ms) {
+    return {Kind::kFixed, delay_ms, 0.0};
+  }
+  static LatencyModel uniform(double lo_ms, double hi_ms) {
+    return {Kind::kUniform, lo_ms, hi_ms};
+  }
+  static LatencyModel normal(double mean_ms, double stddev_ms) {
+    return {Kind::kNormal, mean_ms, stddev_ms};
+  }
+
+  [[nodiscard]] DurationMs sample(Rng& rng) const;
+};
+
+/// Loss process for datagrams. kBurst is a two-state Gilbert-Elliott chain:
+/// in the good state packets drop with p_good, in the bad state with p_bad;
+/// transitions good->bad with p_gb and bad->good with p_bg per packet.
+struct LossModel {
+  enum class Kind { kNone, kIid, kBurst };
+  Kind kind = Kind::kNone;
+  double p = 0.0;      // iid drop probability
+  double p_good = 0.0;
+  double p_bad = 0.9;
+  double p_gb = 0.01;
+  double p_bg = 0.2;
+
+  static LossModel none() { return {}; }
+  static LossModel iid(double drop_probability) {
+    LossModel m;
+    m.kind = Kind::kIid;
+    m.p = drop_probability;
+    return m;
+  }
+  static LossModel burst(double p_good, double p_bad, double p_gb,
+                         double p_bg) {
+    LossModel m;
+    m.kind = Kind::kBurst;
+    m.p_good = p_good;
+    m.p_bad = p_bad;
+    m.p_gb = p_gb;
+    m.p_bg = p_bg;
+    return m;
+  }
+};
+
+struct NetworkParams {
+  LatencyModel latency = LatencyModel::fixed(1.0);
+  LossModel loss = LossModel::none();
+};
+
+/// Counters exposed for tests and benches.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_detached = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+class SimNetwork final : public DatagramNetwork {
+ public:
+  SimNetwork(Simulator& sim, NetworkParams params, Rng rng);
+
+  void attach(NodeId node, DatagramHandler handler) override;
+  void detach(NodeId node) override;
+  void send(Datagram datagram) override;
+
+  /// Crash/recover: a down node neither sends nor receives.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+
+  /// Symmetric pairwise partition control.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  void heal_all();
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+
+  /// Topology: overrides the default latency for one (symmetric) link —
+  /// e.g. WAN links between clusters vs LAN links within them (the setting
+  /// of directional gossip, paper §5). clear_link_latencies() reverts all.
+  void set_link_latency(NodeId a, NodeId b, LatencyModel model);
+  void clear_link_latencies();
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  [[nodiscard]] bool loss_drop();
+
+  Simulator& sim_;
+  NetworkParams params_;
+  Rng rng_;
+  std::unordered_map<NodeId, DatagramHandler> handlers_;
+  std::set<NodeId> down_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::map<std::pair<NodeId, NodeId>, LatencyModel> link_latency_;
+  bool burst_bad_ = false;
+  NetworkStats stats_;
+};
+
+}  // namespace agb::sim

@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace agb::sim {
+
+EventHandle Simulator::at(TimeMs at, std::function<void()> fn) {
+  return queue_.schedule(std::max(at, now_), std::move(fn));
+}
+
+EventHandle Simulator::after(DurationMs delay, std::function<void()> fn) {
+  return at(now_ + std::max<DurationMs>(delay, 0), std::move(fn));
+}
+
+bool Simulator::step() {
+  auto fired = queue_.pop();
+  if (!fired) return false;
+  // Advance the clock before invoking: callbacks scheduling relative
+  // delays must observe the time they fired at, not the previous event's.
+  now_ = std::max(now_, fired->at);
+  fired->fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    if (!step()) break;
+  }
+}
+
+void Simulator::run_until(TimeMs deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    auto next = queue_.peek_time();
+    if (!next || *next > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Simulator::run_for(DurationMs duration) { run_until(now_ + duration); }
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, TimeMs start, DurationMs period,
+                             std::function<void(TimeMs)> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  arm(start);
+}
+
+void PeriodicTimer::cancel() noexcept {
+  active_ = false;
+  handle_.cancel();
+}
+
+void PeriodicTimer::arm(TimeMs at) {
+  handle_ = sim_.at(at, [this] {
+    if (!active_) return;
+    const TimeMs fired = sim_.now();
+    arm(fired + period_);
+    fn_(fired);
+  });
+}
+
+}  // namespace agb::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulator: a virtual clock plus an event queue.
+//
+// All protocol experiments in bench/ run on this simulator. Determinism
+// contract: given the same seed and schedule of calls, two runs produce
+// byte-identical traces (stable tie-breaking in EventQueue, no wall-clock
+// reads anywhere in the stack).
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace agb::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimeMs now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `at` (clamped to now()).
+  EventHandle at(TimeMs at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` ms (clamped to 0).
+  EventHandle after(DurationMs delay, std::function<void()> fn);
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs events until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs events with timestamp <= deadline; advances the clock to
+  /// `deadline` even if the queue empties earlier.
+  void run_until(TimeMs deadline);
+
+  /// Convenience: run_until(now() + duration).
+  void run_for(DurationMs duration);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  TimeMs now_ = 0;
+  bool stopped_ = false;
+};
+
+/// Repeating timer bound to a Simulator. Fires first at `start`, then every
+/// `period` until cancelled or the owner is destroyed.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, TimeMs start, DurationMs period,
+                std::function<void(TimeMs)> fn);
+  ~PeriodicTimer() { cancel(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void cancel() noexcept;
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Changes the period; takes effect from the next firing.
+  void set_period(DurationMs period) noexcept { period_ = period; }
+
+ private:
+  void arm(TimeMs at);
+
+  Simulator& sim_;
+  DurationMs period_;
+  std::function<void(TimeMs)> fn_;
+  EventHandle handle_;
+  bool active_ = true;
+};
+
+}  // namespace agb::sim

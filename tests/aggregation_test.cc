@@ -1,0 +1,145 @@
+#include "gossip/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace agb::gossip {
+namespace {
+
+TEST(PeriodicAggregatorTest, MinMatchesMinBuffSemantics) {
+  MinAggregator<std::uint32_t> agg(2, 90);
+  EXPECT_EQ(agg.estimate(), 90u);
+  agg.on_header(0, 45);
+  EXPECT_EQ(agg.estimate(), 45u);
+  agg.advance_to(1);
+  EXPECT_EQ(agg.header_value(), 90u);  // running restarts from local
+  EXPECT_EQ(agg.estimate(), 45u);      // window still remembers
+  agg.advance_to(2);
+  EXPECT_EQ(agg.estimate(), 90u);      // expired
+}
+
+TEST(PeriodicAggregatorTest, MaxAggregates) {
+  MaxAggregator<int> agg(2, 3);
+  agg.on_header(0, 10);
+  agg.on_header(0, 7);
+  EXPECT_EQ(agg.estimate(), 10);
+}
+
+TEST(PeriodicAggregatorTest, RefoldingIsIdempotent) {
+  // Gossip re-delivers the same information arbitrarily often; semilattice
+  // folds must not care.
+  MinAggregator<int> agg(2, 100);
+  for (int i = 0; i < 50; ++i) agg.on_header(0, 42);
+  EXPECT_EQ(agg.estimate(), 42);
+}
+
+TEST(PeriodicAggregatorTest, LaterPeriodFastForwards) {
+  MinAggregator<int> agg(2, 100);
+  agg.on_header(9, 5);
+  EXPECT_EQ(agg.period(), 9u);
+  EXPECT_EQ(agg.estimate(), 5);
+}
+
+TEST(PeriodicAggregatorTest, StaleHeaderIgnored) {
+  MinAggregator<int> agg(2, 100);
+  agg.advance_to(4);
+  agg.on_header(1, 1);
+  EXPECT_EQ(agg.estimate(), 100);
+}
+
+TEST(PeriodicAggregatorTest, FlagOrAggregation) {
+  FlagAggregator agg(3, false);
+  EXPECT_FALSE(agg.estimate());
+  agg.on_header(0, true);
+  EXPECT_TRUE(agg.estimate());
+  agg.advance_to(1);
+  agg.advance_to(2);
+  EXPECT_TRUE(agg.estimate());  // still in the 3-period window
+  agg.advance_to(3);
+  EXPECT_FALSE(agg.estimate());
+}
+
+TEST(PeriodicAggregatorTest, SetLocalFoldsImmediately) {
+  MinAggregator<int> agg(2, 50);
+  agg.set_local(20);
+  EXPECT_EQ(agg.header_value(), 20);
+  // Growth shows only after the window rolls over (min-fold semantics).
+  agg.set_local(80);
+  EXPECT_EQ(agg.header_value(), 20);
+  agg.advance_to(2);
+  EXPECT_EQ(agg.estimate(), 80);
+}
+
+TEST(PeriodicAggregatorTest, SimulatedGroupConvergesToGlobalMin) {
+  // 16 aggregators exchanging headers pairwise at random: all must learn
+  // the global minimum within a period.
+  Rng rng(7);
+  std::vector<MinAggregator<int>> nodes;
+  for (int i = 0; i < 16; ++i) {
+    nodes.emplace_back(2, 100 + i);
+  }
+  nodes[11].set_local(17);  // the global minimum
+  for (int step = 0; step < 400; ++step) {
+    const auto a = static_cast<std::size_t>(rng.next_below(16));
+    const auto b = static_cast<std::size_t>(rng.next_below(16));
+    nodes[b].on_header(nodes[a].period(), nodes[a].header_value());
+  }
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node.estimate(), 17);
+  }
+}
+
+TEST(NodeMapAggregatorTest, SumAndMeanOverNodeMap) {
+  NodeMapAggregator<int> agg(0, 10);
+  agg.on_share({1, 20, 1});
+  agg.on_share({2, 30, 1});
+  EXPECT_EQ(agg.sum(), 60);
+  EXPECT_DOUBLE_EQ(agg.mean(), 20.0);
+  EXPECT_EQ(agg.known_nodes(), 3u);
+}
+
+TEST(NodeMapAggregatorTest, ReDeliveryDoesNotDoubleCount) {
+  NodeMapAggregator<int> agg(0, 10);
+  for (int i = 0; i < 10; ++i) agg.on_share({1, 20, 1});
+  EXPECT_EQ(agg.sum(), 30);
+}
+
+TEST(NodeMapAggregatorTest, HigherVersionWins) {
+  NodeMapAggregator<int> agg(0, 10);
+  agg.on_share({1, 20, 1});
+  agg.on_share({1, 25, 2});
+  agg.on_share({1, 99, 1});  // stale
+  EXPECT_EQ(agg.sum(), 35);
+}
+
+TEST(NodeMapAggregatorTest, SetLocalBumpsVersion) {
+  NodeMapAggregator<int> a(0, 10);
+  NodeMapAggregator<int> b(1, 0);
+  for (const auto& share : a.shares()) b.on_share(share);
+  a.set_local(50);
+  for (const auto& share : a.shares()) b.on_share(share);
+  EXPECT_EQ(b.sum(), 50);
+}
+
+TEST(NodeMapAggregatorTest, ForgetRemovesDepartedNode) {
+  NodeMapAggregator<int> agg(0, 10);
+  agg.on_share({1, 20, 1});
+  agg.forget(1);
+  EXPECT_EQ(agg.sum(), 10);
+  agg.forget(0);  // self cannot be forgotten
+  EXPECT_EQ(agg.sum(), 10);
+}
+
+TEST(NodeMapAggregatorTest, SharesRoundTripBetweenNodes) {
+  NodeMapAggregator<int> a(0, 1);
+  NodeMapAggregator<int> b(1, 2);
+  NodeMapAggregator<int> c(2, 4);
+  // a -> b -> c: c learns a's value transitively.
+  for (const auto& s : a.shares()) b.on_share(s);
+  for (const auto& s : b.shares()) c.on_share(s);
+  EXPECT_EQ(c.sum(), 7);
+}
+
+}  // namespace
+}  // namespace agb::gossip

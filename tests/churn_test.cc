@@ -1,0 +1,178 @@
+// Membership churn over partial views, driven through the full node stack:
+// nodes subscribe (join with a seed contact) and unsubscribe (circulate an
+// unsub notice) while gossip keeps flowing. These tests exercise the
+// lpbcast membership maintenance that the Scenario harness's static groups
+// do not reach.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "gossip/lpbcast_node.h"
+#include "membership/partial_view.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace agb::gossip {
+namespace {
+
+constexpr DurationMs kRound = 1000;
+
+struct Cluster {
+  sim::Simulator sim;
+  sim::SimNetwork net{sim, {}, Rng(1)};
+  Rng master{2024};
+  std::vector<std::unique_ptr<LpbcastNode>> nodes;
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> timers;
+
+  GossipParams params() const {
+    GossipParams p;
+    p.fanout = 3;
+    p.gossip_period = kRound;
+    p.max_events = 100;
+    p.max_event_ids = 1000;
+    p.max_age = 20;
+    return p;
+  }
+
+  membership::PartialViewParams view_params() const {
+    membership::PartialViewParams v;
+    v.max_view = 8;
+    v.max_subs = 8;
+    v.max_unsubs = 8;
+    return v;
+  }
+
+  /// Adds a node whose view is seeded with `contacts` (its join points).
+  LpbcastNode* add_node(NodeId id, const std::vector<NodeId>& contacts) {
+    auto view = std::make_unique<membership::PartialView>(id, view_params(),
+                                                          master.split());
+    for (NodeId contact : contacts) view->add(contact);
+    auto node = std::make_unique<LpbcastNode>(id, params(), std::move(view),
+                                              master.split());
+    net.attach(id, [raw = node.get()](const Datagram& d, TimeMs now) {
+      (void)raw->on_wire(decode_any(d.payload), now);
+    });
+    const auto phase = static_cast<TimeMs>(
+        sim.now() + static_cast<TimeMs>(master.next_below(kRound)));
+    timers.push_back(std::make_unique<sim::PeriodicTimer>(
+        sim, phase, kRound, [this, raw = node.get()](TimeMs now) {
+          auto out = raw->on_round(now);
+          if (out.targets.empty()) return;
+          auto bytes = out.message.encode();
+          for (NodeId target : out.targets) {
+            net.send(Datagram{raw->id(), target, bytes});
+          }
+        }));
+    nodes.push_back(std::move(node));
+    return nodes.back().get();
+  }
+
+  LpbcastNode* find(NodeId id) {
+    for (auto& node : nodes) {
+      if (node->id() == id) return node.get();
+    }
+    return nullptr;
+  }
+
+  /// How many live nodes have `member` in their view.
+  std::size_t view_spread(NodeId member) {
+    std::size_t count = 0;
+    for (auto& node : nodes) {
+      if (node->id() != member && node->membership().contains(member)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+};
+
+TEST(ChurnTest, LateJoinerBecomesKnownAndReceivesTraffic) {
+  Cluster cluster;
+  for (NodeId id = 0; id < 8; ++id) {
+    cluster.add_node(id, {static_cast<NodeId>((id + 1) % 8)});
+  }
+  cluster.sim.run_until(10'000);  // views mix
+
+  // Node 99 joins knowing only node 0.
+  auto* joiner = cluster.add_node(99, {0});
+  int joiner_deliveries = 0;
+  joiner->set_deliver_handler(
+      [&](const Event&, TimeMs) { ++joiner_deliveries; });
+  cluster.sim.run_until(18'000);  // its subscription circulates
+
+  EXPECT_GE(cluster.view_spread(99), 3u);
+
+  // Traffic from an arbitrary old member reaches the joiner.
+  cluster.find(5)->broadcast(make_payload({0x11}), cluster.sim.now());
+  cluster.sim.run_until(30'000);
+  EXPECT_GE(joiner_deliveries, 1);
+}
+
+TEST(ChurnTest, UnsubscribeDrainsFromViews) {
+  Cluster cluster;
+  for (NodeId id = 0; id < 10; ++id) {
+    cluster.add_node(id, {static_cast<NodeId>((id + 1) % 10)});
+  }
+  cluster.sim.run_until(12'000);
+  ASSERT_GE(cluster.view_spread(3), 3u);
+
+  // Node 3 leaves: every *other* node circulates the unsubscription (in
+  // lpbcast the leaver hands its unsub to contacts, who keep gossiping it);
+  // we inject it at two contacts and stop node 3's traffic.
+  cluster.net.detach(3);
+  for (NodeId contact : {4u, 7u}) {
+    cluster.find(contact)->membership().remove(3);
+  }
+  cluster.sim.run_until(40'000);
+  // The unsub spreads; node 3 disappears from (almost) all views.
+  EXPECT_LE(cluster.view_spread(3), 2u);
+}
+
+TEST(ChurnTest, ViewsStayBoundedUnderHeavyJoinChurn) {
+  Cluster cluster;
+  for (NodeId id = 0; id < 6; ++id) {
+    cluster.add_node(id, {static_cast<NodeId>((id + 1) % 6)});
+  }
+  // 30 nodes join over time.
+  for (NodeId id = 100; id < 130; ++id) {
+    cluster.sim.run_for(500);
+    cluster.add_node(id, {static_cast<NodeId>(id % 6)});
+  }
+  cluster.sim.run_for(15'000);
+  for (auto& node : cluster.nodes) {
+    EXPECT_LE(node->membership().size(), 8u) << "node " << node->id();
+    EXPECT_FALSE(node->membership().contains(node->id()));
+  }
+  // Dissemination still works across the churned group.
+  int deliveries = 0;
+  for (auto& node : cluster.nodes) {
+    node->set_deliver_handler([&](const Event&, TimeMs) { ++deliveries; });
+  }
+  cluster.find(0)->broadcast(make_payload({0x22}), cluster.sim.now());
+  cluster.sim.run_for(15'000);
+  EXPECT_GE(deliveries, static_cast<int>(cluster.nodes.size() * 3 / 4));
+}
+
+TEST(ChurnTest, PartialViewGroupDeliversBroadcasts) {
+  Cluster cluster;
+  for (NodeId id = 0; id < 12; ++id) {
+    cluster.add_node(id, {static_cast<NodeId>((id + 1) % 12),
+                          static_cast<NodeId>((id + 5) % 12)});
+  }
+  std::set<NodeId> receivers;
+  for (auto& node : cluster.nodes) {
+    node->set_deliver_handler(
+        [&receivers, id = node->id()](const Event&, TimeMs) {
+          receivers.insert(id);
+        });
+  }
+  cluster.sim.run_until(8'000);
+  cluster.find(2)->broadcast(make_payload({0x33}), cluster.sim.now());
+  cluster.sim.run_until(25'000);
+  EXPECT_EQ(receivers.size(), 12u);
+}
+
+}  // namespace
+}  // namespace agb::gossip

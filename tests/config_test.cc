@@ -1,0 +1,88 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace agb {
+namespace {
+
+TEST(ConfigTest, ParsePairs) {
+  Config c;
+  std::string error;
+  EXPECT_TRUE(c.parse_pair("n=60", &error));
+  EXPECT_TRUE(c.parse_pair("rate=30.5", &error));
+  EXPECT_EQ(c.get_int("n", 0), 60);
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.0), 30.5);
+}
+
+TEST(ConfigTest, ParseArgsSkipsProgramName) {
+  const char* argv[] = {"prog", "a=1", "b=two"};
+  Config c;
+  std::string error;
+  ASSERT_TRUE(c.parse_args(3, argv, &error));
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "two");
+}
+
+TEST(ConfigTest, MalformedTokenRejected) {
+  Config c;
+  std::string error;
+  EXPECT_FALSE(c.parse_pair("novalue", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(c.parse_pair("=value", &error));
+}
+
+TEST(ConfigTest, ValueMayContainEquals) {
+  Config c;
+  std::string error;
+  ASSERT_TRUE(c.parse_pair("expr=a=b", &error));
+  EXPECT_EQ(c.get_string("expr", ""), "a=b");
+}
+
+TEST(ConfigTest, DefaultsWhenAbsent) {
+  Config c;
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(c.get_string("missing", "x"), "x");
+  EXPECT_TRUE(c.get_bool("missing", true));
+}
+
+TEST(ConfigTest, BoolParsing) {
+  Config c;
+  c.set("a", "true");
+  c.set("b", "1");
+  c.set("c", "YES");
+  c.set("d", "on");
+  c.set("e", "false");
+  c.set("f", "0");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_TRUE(c.get_bool("b", false));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_TRUE(c.get_bool("d", false));
+  EXPECT_FALSE(c.get_bool("e", true));
+  EXPECT_FALSE(c.get_bool("f", true));
+}
+
+TEST(ConfigTest, LastSetWins) {
+  Config c;
+  c.set("k", "1");
+  c.set("k", "2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+TEST(ConfigTest, UnusedKeysReported) {
+  Config c;
+  c.set("used", "1");
+  c.set("typo_key", "1");
+  (void)c.get_int("used", 0);
+  auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo_key");
+}
+
+TEST(ConfigTest, RawReturnsNulloptWhenMissing) {
+  Config c;
+  EXPECT_FALSE(c.raw("nope").has_value());
+}
+
+}  // namespace
+}  // namespace agb

@@ -1,0 +1,135 @@
+#include "adaptive/congestion_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "gossip/event_buffer.h"
+
+namespace agb::adaptive {
+namespace {
+
+gossip::Event make_event(std::uint64_t seq, std::uint32_t age) {
+  gossip::Event e;
+  e.id = EventId{1, seq};
+  e.age = age;
+  return e;
+}
+
+TEST(CongestionEstimatorTest, SeededWithInitialAge) {
+  CongestionEstimator est(0.9, 5.0);
+  EXPECT_DOUBLE_EQ(est.avg_age(), 5.0);
+  EXPECT_EQ(est.observations(), 0u);
+}
+
+TEST(CongestionEstimatorTest, NoVirtualDropsWhenUnderMinBuff) {
+  CongestionEstimator est(0.9, 5.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 2));
+  buf.insert(make_event(2, 3));
+  est.observe(buf, 5);
+  EXPECT_EQ(est.observations(), 0u);
+  EXPECT_TRUE(est.lost().empty());
+}
+
+TEST(CongestionEstimatorTest, VirtuallyDropsOldestDownToMinBuff) {
+  CongestionEstimator est(0.5, 0.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 10));
+  buf.insert(make_event(2, 8));
+  buf.insert(make_event(3, 2));
+  est.observe(buf, 1);
+  // Two virtual drops (ages 10 then 8), oldest first:
+  // avg = 0.5*0 + 0.5*10 = 5; avg = 0.5*5 + 0.5*8 = 6.5
+  EXPECT_DOUBLE_EQ(est.avg_age(), 6.5);
+  EXPECT_EQ(est.observations(), 2u);
+  EXPECT_TRUE(est.lost().contains(EventId{1, 1}));
+  EXPECT_TRUE(est.lost().contains(EventId{1, 2}));
+  EXPECT_FALSE(est.lost().contains(EventId{1, 3}));
+  // The real buffer is untouched: virtual drops are pure accounting.
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(CongestionEstimatorTest, LostEventsAreNotCountedTwice) {
+  CongestionEstimator est(0.5, 0.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 10));
+  buf.insert(make_event(2, 8));
+  est.observe(buf, 1);
+  EXPECT_EQ(est.observations(), 1u);
+  est.observe(buf, 1);  // same state: |events - lost| == 1 == minBuff
+  EXPECT_EQ(est.observations(), 1u);
+}
+
+TEST(CongestionEstimatorTest, NewArrivalsTriggerMoreVirtualDrops) {
+  CongestionEstimator est(0.5, 0.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 10));
+  buf.insert(make_event(2, 4));
+  est.observe(buf, 1);
+  EXPECT_EQ(est.observations(), 1u);
+  buf.insert(make_event(3, 7));
+  est.observe(buf, 1);
+  EXPECT_EQ(est.observations(), 2u);
+  EXPECT_TRUE(est.lost().contains(EventId{1, 3}));  // age 7 > age 4
+}
+
+TEST(CongestionEstimatorTest, MinBuffZeroAccountsEverything) {
+  CongestionEstimator est(0.9, 0.0);
+  gossip::EventBuffer buf;
+  for (std::uint64_t i = 0; i < 5; ++i) buf.insert(make_event(i, 1));
+  est.observe(buf, 0);
+  EXPECT_EQ(est.observations(), 5u);
+  EXPECT_EQ(est.lost().size(), 5u);
+}
+
+TEST(CongestionEstimatorTest, PruneDropsIdsNoLongerBuffered) {
+  CongestionEstimator est(0.9, 0.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 9));
+  buf.insert(make_event(2, 1));
+  est.observe(buf, 1);
+  EXPECT_EQ(est.lost().size(), 1u);
+  buf.shrink_to(1);  // really evicts the age-9 event
+  est.prune(buf);
+  EXPECT_TRUE(est.lost().empty());
+}
+
+TEST(CongestionEstimatorTest, PruneKeepsIdsStillBuffered) {
+  CongestionEstimator est(0.9, 0.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 9));
+  buf.insert(make_event(2, 1));
+  est.observe(buf, 1);
+  est.prune(buf);  // nothing evicted yet
+  EXPECT_EQ(est.lost().size(), 1u);
+}
+
+TEST(CongestionEstimatorTest, EwmaUsesConfiguredAlpha) {
+  CongestionEstimator est(0.9, 10.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 4));
+  est.observe(buf, 0);
+  EXPECT_NEAR(est.avg_age(), 0.9 * 10.0 + 0.1 * 4.0, 1e-12);
+}
+
+TEST(CongestionEstimatorTest, ResetReseedsAverage) {
+  CongestionEstimator est(0.9, 10.0);
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 4));
+  est.observe(buf, 0);
+  est.reset(7.0);
+  EXPECT_DOUBLE_EQ(est.avg_age(), 7.0);
+  EXPECT_EQ(est.observations(), 0u);
+}
+
+TEST(CongestionEstimatorTest, CongestedBufferYieldsLowAverage) {
+  // Young events being virtually dropped == congestion == low avgAge.
+  CongestionEstimator congested(0.0, 99.0);  // alpha 0: tracks last sample
+  gossip::EventBuffer buf;
+  buf.insert(make_event(1, 1));
+  buf.insert(make_event(2, 2));
+  congested.observe(buf, 0);
+  EXPECT_LE(congested.avg_age(), 2.0);
+}
+
+}  // namespace
+}  // namespace agb::adaptive

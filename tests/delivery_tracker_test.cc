@@ -1,0 +1,155 @@
+#include "metrics/delivery_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace agb::metrics {
+namespace {
+
+EventId id(std::uint64_t seq) { return EventId{0, seq}; }
+
+TEST(DeliveryTrackerTest, FullDeliveryIsAtomic) {
+  DeliveryTracker t(10);
+  t.on_broadcast(id(1), 0, 100);
+  for (NodeId n = 0; n < 10; ++n) t.on_delivery(id(1), n, 200);
+  auto report = t.report(0, 1000);
+  EXPECT_EQ(report.messages, 1u);
+  EXPECT_DOUBLE_EQ(report.avg_receiver_pct, 100.0);
+  EXPECT_DOUBLE_EQ(report.atomicity_pct, 100.0);
+}
+
+TEST(DeliveryTrackerTest, AtomicThresholdIsStrictlyAbove95Pct) {
+  // With n = 100, ">95%" means at least 96 receivers.
+  DeliveryTracker t(100);
+  t.on_broadcast(id(1), 0, 0);
+  for (NodeId n = 0; n < 95; ++n) t.on_delivery(id(1), n, 10);
+  EXPECT_DOUBLE_EQ(t.report(0, 100).atomicity_pct, 0.0);
+  t.on_delivery(id(1), 95, 10);  // 96th receiver crosses the threshold
+  EXPECT_DOUBLE_EQ(t.report(0, 100).atomicity_pct, 100.0);
+}
+
+TEST(DeliveryTrackerTest, SmallGroupThreshold) {
+  // n = 10: threshold is floor(9.5)+1 = 10 — everyone.
+  DeliveryTracker t(10);
+  t.on_broadcast(id(1), 0, 0);
+  for (NodeId n = 0; n < 9; ++n) t.on_delivery(id(1), n, 10);
+  EXPECT_DOUBLE_EQ(t.report(0, 100).atomicity_pct, 0.0);
+  t.on_delivery(id(1), 9, 10);
+  EXPECT_DOUBLE_EQ(t.report(0, 100).atomicity_pct, 100.0);
+}
+
+TEST(DeliveryTrackerTest, DuplicateDeliveriesIgnored) {
+  DeliveryTracker t(10);
+  t.on_broadcast(id(1), 0, 0);
+  for (int rep = 0; rep < 5; ++rep) t.on_delivery(id(1), 3, 10);
+  EXPECT_DOUBLE_EQ(t.receiver_fraction(id(1)), 0.1);
+}
+
+TEST(DeliveryTrackerTest, DeliveryForUnknownMessageIgnored) {
+  DeliveryTracker t(10);
+  t.on_delivery(id(9), 3, 10);  // never broadcast
+  EXPECT_DOUBLE_EQ(t.receiver_fraction(id(9)), 0.0);
+  EXPECT_EQ(t.report(0, 100).messages, 0u);
+}
+
+TEST(DeliveryTrackerTest, OutOfRangeNodeIgnored) {
+  DeliveryTracker t(10);
+  t.on_broadcast(id(1), 0, 0);
+  t.on_delivery(id(1), 99, 10);
+  EXPECT_DOUBLE_EQ(t.receiver_fraction(id(1)), 0.0);
+}
+
+TEST(DeliveryTrackerTest, WindowFiltersByCreationTime) {
+  DeliveryTracker t(4);
+  t.on_broadcast(id(1), 0, 50);    // before window
+  t.on_broadcast(id(2), 0, 100);   // inside
+  t.on_broadcast(id(3), 0, 199);   // inside
+  t.on_broadcast(id(4), 0, 200);   // at the exclusive upper bound
+  auto report = t.report(100, 200);
+  EXPECT_EQ(report.messages, 2u);
+}
+
+TEST(DeliveryTrackerTest, RatesComputedOverWindow) {
+  DeliveryTracker t(2);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    t.on_broadcast(id(i), 0, static_cast<TimeMs>(i * 100));
+    t.on_delivery(id(i), 0, static_cast<TimeMs>(i * 100));
+    t.on_delivery(id(i), 1, static_cast<TimeMs>(i * 100 + 50));
+  }
+  auto report = t.report(0, 1000);  // 1 s window, 10 messages
+  EXPECT_DOUBLE_EQ(report.input_rate, 10.0);
+  EXPECT_DOUBLE_EQ(report.output_rate, 10.0);  // all reached both nodes
+}
+
+TEST(DeliveryTrackerTest, PartialDeliveryLowersAverageNotInput) {
+  DeliveryTracker t(4);
+  t.on_broadcast(id(1), 0, 0);
+  t.on_delivery(id(1), 0, 1);
+  t.on_delivery(id(1), 1, 1);  // 50% of the group
+  auto report = t.report(0, 1000);
+  EXPECT_DOUBLE_EQ(report.avg_receiver_pct, 50.0);
+  EXPECT_DOUBLE_EQ(report.atomicity_pct, 0.0);
+  EXPECT_DOUBLE_EQ(report.input_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.output_rate, 0.0);
+}
+
+TEST(DeliveryTrackerTest, LatencyMeasuredToAtomicityThreshold) {
+  DeliveryTracker t(2);
+  t.on_broadcast(id(1), 0, 1000);
+  t.on_delivery(id(1), 0, 1000);
+  t.on_delivery(id(1), 1, 1400);  // threshold (2 of 2) crossed here
+  auto report = t.report(0, 10'000);
+  EXPECT_DOUBLE_EQ(report.latency_p50_ms, 400.0);
+}
+
+TEST(DeliveryTrackerTest, AtomicitySeriesBucketsByCreation) {
+  DeliveryTracker t(2);
+  // Bucket [0,100): message delivered everywhere. [100,200): not.
+  t.on_broadcast(id(1), 0, 10);
+  t.on_delivery(id(1), 0, 11);
+  t.on_delivery(id(1), 1, 12);
+  t.on_broadcast(id(2), 0, 110);
+  t.on_delivery(id(2), 0, 111);
+  auto series = t.atomicity_series(0, 200, 100);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].first, 0);
+  EXPECT_DOUBLE_EQ(series[0].second, 100.0);
+  EXPECT_EQ(series[1].first, 100);
+  EXPECT_DOUBLE_EQ(series[1].second, 0.0);
+}
+
+TEST(DeliveryTrackerTest, EmptyBucketReportsFullAtomicity) {
+  DeliveryTracker t(2);
+  auto series = t.atomicity_series(0, 100, 50);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].second, 100.0);  // vacuous truth, documented
+}
+
+TEST(DeliveryTrackerTest, InputRateSeries) {
+  DeliveryTracker t(2);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    t.on_broadcast(id(i), 0, static_cast<TimeMs>(i * 25));  // all in [0,100)
+  }
+  auto series = t.input_rate_series(0, 200, 100);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].second, 40.0);  // 4 msgs / 0.1 s
+  EXPECT_DOUBLE_EQ(series[1].second, 0.0);
+}
+
+TEST(DeliveryTrackerTest, DuplicateBroadcastKeepsFirstRecord) {
+  DeliveryTracker t(2);
+  t.on_broadcast(id(1), 0, 10);
+  t.on_broadcast(id(1), 0, 500);  // ignored
+  EXPECT_EQ(t.report(0, 100).messages, 1u);
+}
+
+TEST(DeliveryTrackerTest, EmptyReportIsAllZero) {
+  DeliveryTracker t(5);
+  auto report = t.report(0, 1000);
+  EXPECT_EQ(report.messages, 0u);
+  EXPECT_DOUBLE_EQ(report.input_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_receiver_pct, 0.0);
+  EXPECT_DOUBLE_EQ(report.atomicity_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace agb::metrics

@@ -1,0 +1,212 @@
+#include "gossip/event_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agb::gossip {
+namespace {
+
+Event make_event(NodeId origin, std::uint64_t seq, std::uint32_t age = 0) {
+  Event e;
+  e.id = EventId{origin, seq};
+  e.age = age;
+  return e;
+}
+
+TEST(EventBufferTest, InsertDeduplicatesById) {
+  EventBuffer buf;
+  EXPECT_TRUE(buf.insert(make_event(1, 1)));
+  EXPECT_FALSE(buf.insert(make_event(1, 1, 99)));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(EventBufferTest, ContainsAndEmpty) {
+  EventBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  buf.insert(make_event(1, 1));
+  EXPECT_TRUE(buf.contains(EventId{1, 1}));
+  EXPECT_FALSE(buf.contains(EventId{1, 2}));
+  EXPECT_FALSE(buf.empty());
+}
+
+TEST(EventBufferTest, BumpAgeTakesMaximum) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 5));
+  buf.bump_age(EventId{1, 1}, 3);  // lower: ignored
+  buf.bump_age(EventId{1, 1}, 8);  // higher: adopted
+  buf.bump_age(EventId{9, 9}, 100);  // unknown id: no-op
+  auto snapshot = buf.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].age, 8u);
+}
+
+TEST(EventBufferTest, IncrementAgesAddsOneHopToAll) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 0));
+  buf.insert(make_event(1, 2, 4));
+  buf.increment_ages();
+  auto snapshot = buf.snapshot();
+  EXPECT_EQ(snapshot[0].age, 1u);
+  EXPECT_EQ(snapshot[1].age, 5u);
+}
+
+TEST(EventBufferTest, PurgeAgeLimitRemovesStrictlyOlder) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 10));
+  buf.insert(make_event(1, 2, 11));
+  buf.insert(make_event(1, 3, 12));
+  auto removed = buf.purge_age_limit(11);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].id, (EventId{1, 3}));
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(EventBufferTest, ShrinkRemovesOldestFirst) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 3));
+  buf.insert(make_event(1, 2, 9));
+  buf.insert(make_event(1, 3, 6));
+  auto removed = buf.shrink_to(1);
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].id, (EventId{1, 2}));  // age 9 first
+  EXPECT_EQ(removed[1].id, (EventId{1, 3}));  // then age 6
+  EXPECT_TRUE(buf.contains(EventId{1, 1}));
+}
+
+TEST(EventBufferTest, ShrinkTieBreaksByInsertionOrder) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 5));
+  buf.insert(make_event(1, 2, 5));
+  buf.insert(make_event(1, 3, 5));
+  auto removed = buf.shrink_to(2);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].id, (EventId{1, 1}));  // earliest inserted goes first
+}
+
+TEST(EventBufferTest, ShrinkNoopWhenUnderCapacity) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1));
+  EXPECT_TRUE(buf.shrink_to(5).empty());
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(EventBufferTest, ShrinkToZeroEmptiesBuffer) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1));
+  buf.insert(make_event(1, 2));
+  EXPECT_EQ(buf.shrink_to(0).size(), 2u);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(EventBufferTest, OldestExcludingSkipsExcludedIds) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 9));
+  buf.insert(make_event(1, 2, 7));
+  std::unordered_set<EventId> excluded{EventId{1, 1}};
+  const Event* oldest = buf.oldest_excluding(excluded);
+  ASSERT_NE(oldest, nullptr);
+  EXPECT_EQ(oldest->id, (EventId{1, 2}));
+}
+
+TEST(EventBufferTest, OldestExcludingAllReturnsNull) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1));
+  std::unordered_set<EventId> excluded{EventId{1, 1}};
+  EXPECT_EQ(buf.oldest_excluding(excluded), nullptr);
+}
+
+TEST(EventBufferTest, CountExcluding) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1));
+  buf.insert(make_event(1, 2));
+  buf.insert(make_event(1, 3));
+  std::unordered_set<EventId> excluded{EventId{1, 2}, EventId{9, 9}};
+  EXPECT_EQ(buf.count_excluding(excluded), 2u);
+  EXPECT_EQ(buf.count_excluding({}), 3u);
+}
+
+TEST(EventBufferTest, SnapshotPreservesInsertionOrder) {
+  EventBuffer buf;
+  buf.insert(make_event(3, 1));
+  buf.insert(make_event(1, 1));
+  buf.insert(make_event(2, 1));
+  // Force internal swap-erase churn, then check the order survives.
+  buf.insert(make_event(4, 1, 99));
+  buf.shrink_to(3);  // removes the age-99 event
+  auto snapshot = buf.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].id, (EventId{3, 1}));
+  EXPECT_EQ(snapshot[1].id, (EventId{1, 1}));
+  EXPECT_EQ(snapshot[2].id, (EventId{2, 1}));
+}
+
+TEST(EventBufferTest, ForEachVisitsAll) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1));
+  buf.insert(make_event(1, 2));
+  int count = 0;
+  buf.for_each([&](const Event&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventBufferTest, ReinsertAfterRemovalWorks) {
+  EventBuffer buf;
+  buf.insert(make_event(1, 1, 5));
+  buf.shrink_to(0);
+  EXPECT_TRUE(buf.insert(make_event(1, 1, 0)));
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(EventIdBufferTest, InsertReportsNovelty) {
+  EventIdBuffer ids(10);
+  EXPECT_TRUE(ids.insert(EventId{1, 1}));
+  EXPECT_FALSE(ids.insert(EventId{1, 1}));
+}
+
+TEST(EventIdBufferTest, EvictsOldestWhenFull) {
+  EventIdBuffer ids(3);
+  ids.insert(EventId{1, 1});
+  ids.insert(EventId{1, 2});
+  ids.insert(EventId{1, 3});
+  ids.insert(EventId{1, 4});  // evicts {1,1}
+  EXPECT_FALSE(ids.contains(EventId{1, 1}));
+  EXPECT_TRUE(ids.contains(EventId{1, 2}));
+  EXPECT_TRUE(ids.contains(EventId{1, 4}));
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(EventIdBufferTest, EvictedIdCanBeReinserted) {
+  EventIdBuffer ids(2);
+  ids.insert(EventId{1, 1});
+  ids.insert(EventId{1, 2});
+  ids.insert(EventId{1, 3});  // evicts {1,1}
+  EXPECT_TRUE(ids.insert(EventId{1, 1}));
+  EXPECT_TRUE(ids.contains(EventId{1, 1}));
+}
+
+TEST(EventIdBufferTest, ShrinkingCapacityEvictsImmediately) {
+  EventIdBuffer ids(10);
+  for (std::uint64_t i = 0; i < 10; ++i) ids.insert(EventId{1, i});
+  ids.set_capacity(4);
+  EXPECT_EQ(ids.size(), 4u);
+  // The four newest survive.
+  for (std::uint64_t i = 6; i < 10; ++i) {
+    EXPECT_TRUE(ids.contains(EventId{1, i})) << i;
+  }
+}
+
+TEST(EventIdBufferTest, LongFifoChurnStaysConsistent) {
+  EventIdBuffer ids(64);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(ids.insert(EventId{1, i}));
+    EXPECT_EQ(ids.size(), std::min<std::size_t>(64, i + 1));
+    if (i >= 64) {
+      EXPECT_FALSE(ids.contains(EventId{1, i - 64}));
+      EXPECT_TRUE(ids.contains(EventId{1, i - 63}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agb::gossip

@@ -1,0 +1,116 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agb::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (auto fired = q.pop()) fired->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (auto fired = q.pop()) fired->fn();
+  std::vector<int> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  auto fired = q.pop();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->at, 42);
+}
+
+TEST(EventQueueTest, EmptyPopReturnsNullopt) {
+  EventQueue q;
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto handle = q.schedule(1, [&] { ran = true; });
+  handle.cancel();
+  while (auto fired = q.pop()) fired->fn();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  auto handle = q.schedule(1, [] {});
+  auto fired = q.pop();
+  ASSERT_TRUE(fired.has_value());
+  fired->fn();
+  handle.cancel();  // no effect, no crash
+  handle.cancel();
+}
+
+TEST(EventQueueTest, PendingReflectsLifecycle) {
+  EventQueue q;
+  auto handle = q.schedule(1, [] {});
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueueTest, PendingFalseAfterPop) {
+  EventQueue q;
+  auto handle = q.schedule(1, [] {});
+  (void)q.pop();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(EventQueueTest, PeekSkipsCancelled) {
+  EventQueue q;
+  auto first = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  first.cancel();
+  EXPECT_EQ(q.peek_time(), 2);
+}
+
+TEST(EventQueueTest, EmptyAfterAllCancelled) {
+  EventQueue q;
+  auto a = q.schedule(1, [] {});
+  auto b = q.schedule(2, [] {});
+  a.cancel();
+  b.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.peek_time().has_value());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no crash
+}
+
+TEST(EventQueueTest, ScheduleFromWithinCallback) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] {
+    order.push_back(1);
+    q.schedule(2, [&] { order.push_back(2); });
+  });
+  while (auto fired = q.pop()) fired->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace agb::sim

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace agb {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kWarn); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsDoNotCrash) {
+  set_log_level(LogLevel::kError);
+  log_line(LogLevel::kDebug, "hidden");
+  log_fmt(LogLevel::kInfo, "hidden %d", 42);
+  AGB_LOG_WARN("hidden %s", "too");
+}
+
+TEST_F(LoggingTest, EmittedLevelsDoNotCrash) {
+  set_log_level(LogLevel::kOff);  // keep test output clean
+  log_line(LogLevel::kError, "visible-if-enabled");
+  log_fmt(LogLevel::kError, "value=%d float=%.2f", 7, 1.5);
+}
+
+TEST_F(LoggingTest, LongMessagesAreTruncatedSafely) {
+  set_log_level(LogLevel::kOff);
+  std::string huge(10'000, 'x');
+  log_fmt(LogLevel::kError, "%s", huge.c_str());  // must not overflow
+}
+
+}  // namespace
+}  // namespace agb

@@ -1,0 +1,195 @@
+#include "membership/full_membership.h"
+#include "membership/partial_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace agb::membership {
+namespace {
+
+TEST(FullMembershipTest, TargetsNeverIncludeSelf) {
+  FullMembership m(5, Rng(1));
+  for (NodeId id = 0; id < 10; ++id) m.add(id);
+  EXPECT_EQ(m.size(), 9u);  // self excluded
+  for (int trial = 0; trial < 100; ++trial) {
+    for (NodeId t : m.targets(4)) EXPECT_NE(t, 5u);
+  }
+}
+
+TEST(FullMembershipTest, TargetsAreDistinct) {
+  FullMembership m(0, Rng(2));
+  for (NodeId id = 1; id <= 20; ++id) m.add(id);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto targets = m.targets(6);
+    std::set<NodeId> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), targets.size());
+  }
+}
+
+TEST(FullMembershipTest, FanoutLargerThanGroupReturnsAll) {
+  FullMembership m(0, Rng(3));
+  m.add(1);
+  m.add(2);
+  auto targets = m.targets(10);
+  std::set<NodeId> unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique, (std::set<NodeId>{1, 2}));
+}
+
+TEST(FullMembershipTest, AddIsIdempotent) {
+  FullMembership m(0, Rng(4));
+  m.add(7);
+  m.add(7);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(7));
+}
+
+TEST(FullMembershipTest, RemoveWorksAndIsIdempotent) {
+  FullMembership m(0, Rng(5));
+  m.add(1);
+  m.add(2);
+  m.remove(1);
+  m.remove(1);
+  EXPECT_FALSE(m.contains(1));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FullMembershipTest, SnapshotIsSorted) {
+  FullMembership m(0, Rng(6));
+  m.add(9);
+  m.add(3);
+  m.add(7);
+  auto snap = m.snapshot();
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+  EXPECT_EQ(snap.size(), 3u);
+}
+
+TEST(FullMembershipTest, SelectionIsApproximatelyUniform) {
+  FullMembership m(0, Rng(7));
+  for (NodeId id = 1; id <= 10; ++id) m.add(id);
+  std::map<NodeId, int> counts;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (NodeId target : m.targets(3)) ++counts[target];
+  }
+  for (const auto& [id, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.03) << "node " << id;
+  }
+}
+
+PartialViewParams small_params() {
+  PartialViewParams p;
+  p.max_view = 4;
+  p.max_subs = 4;
+  p.max_unsubs = 4;
+  return p;
+}
+
+TEST(PartialViewTest, ViewStaysBounded) {
+  PartialView v(0, small_params(), Rng(8));
+  for (NodeId id = 1; id <= 50; ++id) v.add(id);
+  EXPECT_LE(v.size(), 4u);
+}
+
+TEST(PartialViewTest, SelfNeverEntersView) {
+  PartialView v(3, small_params(), Rng(9));
+  v.add(3);
+  EXPECT_EQ(v.size(), 0u);
+  MembershipDigest digest;
+  digest.subs = {3, 3, 3};
+  v.apply_digest(1, digest);
+  EXPECT_FALSE(v.contains(3));
+}
+
+TEST(PartialViewTest, DigestIncludesSelfInSubs) {
+  PartialView v(7, small_params(), Rng(10));
+  auto digest = v.make_digest();
+  EXPECT_NE(std::find(digest.subs.begin(), digest.subs.end(), 7),
+            digest.subs.end());
+}
+
+TEST(PartialViewTest, ApplyDigestAddsSenderToView) {
+  PartialView v(0, small_params(), Rng(11));
+  v.apply_digest(9, MembershipDigest{});
+  EXPECT_TRUE(v.contains(9));
+}
+
+TEST(PartialViewTest, UnsubWinsOverSubInSameDigest) {
+  PartialView v(0, small_params(), Rng(12));
+  MembershipDigest digest;
+  digest.subs = {5};
+  digest.unsubs = {5};
+  v.apply_digest(1, digest);
+  EXPECT_FALSE(v.contains(5));
+}
+
+TEST(PartialViewTest, UnsubRemovesExistingMember) {
+  PartialView v(0, small_params(), Rng(13));
+  v.add(5);
+  ASSERT_TRUE(v.contains(5));
+  MembershipDigest digest;
+  digest.unsubs = {5};
+  v.apply_digest(1, digest);
+  EXPECT_FALSE(v.contains(5));
+}
+
+TEST(PartialViewTest, RemoveGoesToUnsubs) {
+  PartialView v(0, small_params(), Rng(14));
+  v.add(5);
+  v.remove(5);
+  auto digest = v.make_digest();
+  EXPECT_NE(std::find(digest.unsubs.begin(), digest.unsubs.end(), 5),
+            digest.unsubs.end());
+}
+
+TEST(PartialViewTest, TargetsComeFromView) {
+  PartialView v(0, small_params(), Rng(15));
+  v.add(1);
+  v.add(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (NodeId t : v.targets(2)) {
+      EXPECT_TRUE(t == 1 || t == 2);
+    }
+  }
+}
+
+TEST(PartialViewTest, SnapshotSorted) {
+  PartialView v(0, small_params(), Rng(16));
+  v.add(9);
+  v.add(2);
+  auto snap = v.snapshot();
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST(PartialViewTest, GossipExchangeConvergesViews) {
+  // Two partial views exchanging digests learn about each other's contacts.
+  PartialViewParams params;
+  params.max_view = 10;
+  params.max_subs = 10;
+  params.max_unsubs = 10;
+  PartialView a(0, params, Rng(17));
+  PartialView b(1, params, Rng(18));
+  a.add(2);
+  b.add(3);
+  for (int round = 0; round < 4; ++round) {
+    b.apply_digest(0, a.make_digest());
+    a.apply_digest(1, b.make_digest());
+  }
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_TRUE(b.contains(0));
+  EXPECT_TRUE(b.contains(2));
+}
+
+TEST(PartialViewTest, SubsBufferStaysBounded) {
+  PartialView v(0, small_params(), Rng(19));
+  for (NodeId id = 1; id <= 100; ++id) v.add(id);
+  auto digest = v.make_digest();
+  EXPECT_LE(digest.subs.size(), small_params().max_subs + 1);  // +self
+  EXPECT_LE(digest.unsubs.size(), small_params().max_unsubs);
+}
+
+}  // namespace
+}  // namespace agb::membership

@@ -1,0 +1,269 @@
+#include "gossip/message.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace agb::gossip {
+namespace {
+
+GossipMessage sample_message() {
+  GossipMessage m;
+  m.sender = 12;
+  m.round = 345;
+  m.period = 7;
+  m.min_buff = 60;
+  m.membership.subs = {1, 2, 3};
+  m.membership.unsubs = {4};
+  Event e1;
+  e1.id = EventId{12, 0};
+  e1.age = 3;
+  e1.created_at = 1234;
+  e1.payload = make_payload({0xde, 0xad});
+  Event e2;
+  e2.id = EventId{9, 77};
+  e2.age = 0;
+  e2.created_at = -5;  // negative times must survive the codec
+  m.events = {e1, e2};
+  return m;
+}
+
+TEST(MessageCodecTest, RoundTripPreservesAllFields) {
+  const auto original = sample_message();
+  auto decoded = GossipMessage::decode(original.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sender, 12u);
+  EXPECT_EQ(decoded->round, 345u);
+  EXPECT_EQ(decoded->period, 7u);
+  EXPECT_EQ(decoded->min_buff, 60u);
+  EXPECT_EQ(decoded->membership.subs, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(decoded->membership.unsubs, (std::vector<NodeId>{4}));
+  ASSERT_EQ(decoded->events.size(), 2u);
+  EXPECT_EQ(decoded->events[0].id, (EventId{12, 0}));
+  EXPECT_EQ(decoded->events[0].age, 3u);
+  EXPECT_EQ(decoded->events[0].created_at, 1234);
+  ASSERT_TRUE(decoded->events[0].payload);
+  EXPECT_EQ(*decoded->events[0].payload,
+            (std::vector<std::uint8_t>{0xde, 0xad}));
+  EXPECT_EQ(decoded->events[1].id, (EventId{9, 77}));
+  EXPECT_EQ(decoded->events[1].created_at, -5);
+}
+
+TEST(MessageCodecTest, EmptyMessageRoundTrips) {
+  GossipMessage m;
+  m.sender = 1;
+  auto decoded = GossipMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->events.empty());
+  EXPECT_TRUE(decoded->membership.subs.empty());
+}
+
+TEST(MessageCodecTest, EmptyPayloadDecodesAsNull) {
+  GossipMessage m;
+  m.sender = 1;
+  Event e;
+  e.id = EventId{1, 1};
+  e.payload = make_payload({});  // empty payload == no payload on the wire
+  m.events = {e};
+  auto decoded = GossipMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->events[0].payload);
+  EXPECT_EQ(decoded->events[0].payload_size(), 0u);
+}
+
+TEST(MessageCodecTest, WrongMagicRejected) {
+  auto bytes = sample_message().encode();
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(GossipMessage::decode(bytes).has_value());
+}
+
+TEST(MessageCodecTest, WrongVersionRejected) {
+  auto bytes = sample_message().encode();
+  bytes[2] = kWireVersion + 1;
+  EXPECT_FALSE(GossipMessage::decode(bytes).has_value());
+}
+
+TEST(MessageCodecTest, WrongTypeRejected) {
+  auto bytes = sample_message().encode();
+  bytes[3] = 0x77;
+  EXPECT_FALSE(GossipMessage::decode(bytes).has_value());
+}
+
+TEST(MessageCodecTest, EveryTruncationFailsCleanly) {
+  // Chopping the message at any byte boundary must produce nullopt — never
+  // a crash, never a bogus partial decode.
+  auto bytes = sample_message().encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::span<const std::uint8_t> prefix(bytes.data(), len);
+    EXPECT_FALSE(GossipMessage::decode(prefix).has_value())
+        << "prefix length " << len;
+  }
+}
+
+TEST(MessageCodecTest, TrailingGarbageRejected) {
+  auto bytes = sample_message().encode();
+  bytes.push_back(0x00);
+  EXPECT_FALSE(GossipMessage::decode(bytes).has_value());
+}
+
+TEST(MessageCodecTest, ForgedHugeEventCountRejected) {
+  // Craft a header claiming 2^40 events with no bytes behind it.
+  ByteWriter w;
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(1);
+  w.u32(1);       // sender
+  w.varint(1);    // round
+  w.varint(0);    // period
+  w.varint(0);    // min_buff
+  w.varint(0);    // subs
+  w.varint(0);    // unsubs
+  w.varint(1ull << 40);  // events: absurd
+  EXPECT_FALSE(GossipMessage::decode(w.data()).has_value());
+}
+
+TEST(MessageCodecTest, ForgedHugeSubsCountRejected) {
+  ByteWriter w;
+  w.u16(kWireMagic);
+  w.u8(kWireVersion);
+  w.u8(1);
+  w.u32(1);
+  w.varint(1);
+  w.varint(0);
+  w.varint(0);
+  w.varint(1ull << 40);  // subs: absurd
+  EXPECT_FALSE(GossipMessage::decode(w.data()).has_value());
+}
+
+TEST(MessageCodecTest, RandomBytesNeverCrash) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.next_below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    (void)GossipMessage::decode(junk);  // must not crash; result irrelevant
+  }
+}
+
+TEST(MessageCodecTest, MutatedValidMessageNeverCrashes) {
+  // Single-byte mutations of a valid wire image: decode either fails or
+  // yields *some* message, but never crashes or over-allocates.
+  auto bytes = sample_message().encode();
+  Rng rng(99);
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto copy = bytes;
+    const auto pos = static_cast<std::size_t>(rng.next_below(copy.size()));
+    copy[pos] = static_cast<std::uint8_t>(rng.next());
+    (void)GossipMessage::decode(copy);
+  }
+}
+
+TEST(MessageCodecTest, RandomizedMessagesRoundTripExactly) {
+  // Property: any well-formed message survives encode+decode bit-exactly.
+  Rng rng(20260612);
+  for (int trial = 0; trial < 300; ++trial) {
+    GossipMessage m;
+    m.sender = static_cast<NodeId>(rng.next_below(1000));
+    m.round = rng.next_below(1 << 20);
+    m.period = rng.next_below(1 << 16);
+    m.min_buff = static_cast<std::uint32_t>(rng.next_below(1 << 16));
+    const auto min_set = rng.next_below(4);
+    for (std::uint64_t i = 0; i < min_set; ++i) {
+      m.min_set.push_back({static_cast<NodeId>(rng.next_below(100)),
+                           static_cast<std::uint32_t>(rng.next_below(500))});
+    }
+    const auto subs = rng.next_below(5);
+    for (std::uint64_t i = 0; i < subs; ++i) {
+      m.membership.subs.push_back(static_cast<NodeId>(rng.next_below(100)));
+    }
+    const auto events = rng.next_below(20);
+    for (std::uint64_t i = 0; i < events; ++i) {
+      Event e;
+      e.id = EventId{static_cast<NodeId>(rng.next_below(100)), rng.next()};
+      e.age = static_cast<std::uint32_t>(rng.next_below(30));
+      e.created_at = static_cast<TimeMs>(rng.next()) / 2;
+      e.stream = static_cast<std::uint32_t>(rng.next_below(8));
+      e.supersedes = rng.bernoulli(0.3);
+      if (rng.bernoulli(0.7)) {
+        std::vector<std::uint8_t> payload(1 + rng.next_below(40));
+        for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+        e.payload = make_payload(std::move(payload));
+      }
+      m.events.push_back(std::move(e));
+    }
+    const auto seen = rng.next_below(10);
+    for (std::uint64_t i = 0; i < seen; ++i) {
+      m.seen_ids.push_back(
+          EventId{static_cast<NodeId>(rng.next_below(100)), rng.next()});
+    }
+
+    auto decoded = GossipMessage::decode(m.encode());
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    // Re-encoding the decoded message must reproduce identical bytes
+    // (canonical encoding), which subsumes field-by-field equality.
+    EXPECT_EQ(decoded->encode(), m.encode()) << "trial " << trial;
+  }
+}
+
+TEST(MessageCodecTest, EncodeIsDeterministic) {
+  const auto a = sample_message().encode();
+  const auto b = sample_message().encode();
+  EXPECT_EQ(a, b);
+}
+
+TEST(MessageCodecTest, RepairMessagesSurviveMutationFuzz) {
+  RepairRequest request;
+  request.sender = 4;
+  for (std::uint64_t i = 0; i < 20; ++i) request.ids.push_back({1, i});
+  RepairReply reply;
+  reply.sender = 4;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Event e;
+    e.id = EventId{2, i};
+    e.payload = make_payload({1, 2, 3});
+    reply.events.push_back(e);
+  }
+  Rng rng(321);
+  for (const auto& bytes : {request.encode(), reply.encode()}) {
+    for (int trial = 0; trial < 500; ++trial) {
+      auto copy = bytes;
+      const auto pos = static_cast<std::size_t>(rng.next_below(copy.size()));
+      copy[pos] = static_cast<std::uint8_t>(rng.next());
+      (void)decode_any(copy);  // must never crash or over-allocate
+    }
+    // Truncations too.
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      (void)decode_any(std::span<const std::uint8_t>(bytes.data(), len));
+    }
+  }
+}
+
+TEST(MessageCodecTest, MinSetTruncationFailsCleanly) {
+  GossipMessage m;
+  m.sender = 1;
+  m.min_set = {{2, 30}, {3, 60}};
+  auto bytes = m.encode();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(GossipMessage::decode(
+                     std::span<const std::uint8_t>(bytes.data(), len))
+                     .has_value());
+  }
+}
+
+TEST(MessageCodecTest, LargeEventBatchRoundTrips) {
+  GossipMessage m;
+  m.sender = 3;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Event e;
+    e.id = EventId{static_cast<NodeId>(i % 60), i};
+    e.age = static_cast<std::uint32_t>(i % 13);
+    e.created_at = static_cast<TimeMs>(i * 7);
+    m.events.push_back(e);
+  }
+  auto decoded = GossipMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->events.size(), 500u);
+  EXPECT_EQ(decoded->events[499].id.sequence, 499u);
+}
+
+}  // namespace
+}  // namespace agb::gossip

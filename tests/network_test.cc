@@ -1,0 +1,242 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agb::sim {
+namespace {
+
+Datagram make_datagram(NodeId from, NodeId to, std::uint8_t tag = 0) {
+  return Datagram{from, to, {tag}};
+}
+
+struct Fixture {
+  Simulator sim;
+  SimNetwork net;
+  std::vector<std::pair<NodeId, TimeMs>> received;  // (to, time)
+
+  explicit Fixture(NetworkParams params = {}, std::uint64_t seed = 1)
+      : net(sim, params, Rng(seed)) {}
+
+  void attach(NodeId node) {
+    net.attach(node, [this, node](const Datagram&, TimeMs now) {
+      received.emplace_back(node, now);
+    });
+  }
+};
+
+TEST(LatencyModelTest, FixedIsConstant) {
+  Rng rng(1);
+  auto model = LatencyModel::fixed(7.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(rng), 7);
+}
+
+TEST(LatencyModelTest, UniformStaysInRange) {
+  Rng rng(2);
+  auto model = LatencyModel::uniform(5.0, 15.0);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = model.sample(rng);
+    EXPECT_GE(d, 5);
+    EXPECT_LE(d, 15);
+  }
+}
+
+TEST(LatencyModelTest, NormalClampsToNonNegative) {
+  Rng rng(3);
+  auto model = LatencyModel::normal(0.0, 10.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(model.sample(rng), 0);
+}
+
+TEST(SimNetworkTest, DeliversAfterLatency) {
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(5.0);
+  Fixture f(params);
+  f.attach(1);
+  f.net.send(make_datagram(0, 1));
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].first, 1u);
+  EXPECT_EQ(f.received[0].second, 5);
+  EXPECT_EQ(f.net.stats().delivered, 1u);
+}
+
+TEST(SimNetworkTest, PayloadIntegrity) {
+  Fixture f;
+  std::vector<std::uint8_t> got;
+  f.net.attach(2, [&](const Datagram& d, TimeMs) { got = d.payload; });
+  f.net.send(Datagram{1, 2, {9, 8, 7}});
+  f.sim.run();
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{9, 8, 7}));
+  EXPECT_EQ(f.net.stats().bytes_delivered, 3u);
+}
+
+TEST(SimNetworkTest, SendToDetachedNodeCountsDrop) {
+  Fixture f;
+  f.net.send(make_datagram(0, 99));
+  f.sim.run();
+  EXPECT_EQ(f.net.stats().dropped_detached, 1u);
+  EXPECT_EQ(f.net.stats().delivered, 0u);
+}
+
+TEST(SimNetworkTest, DetachWhileInFlightDrops) {
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(10.0);
+  Fixture f(params);
+  f.attach(1);
+  f.net.send(make_datagram(0, 1));
+  f.sim.run_until(5);
+  f.net.detach(1);
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().dropped_detached, 1u);
+}
+
+TEST(SimNetworkTest, IidLossDropsApproximatelyP) {
+  NetworkParams params;
+  params.loss = LossModel::iid(0.25);
+  Fixture f(params);
+  f.attach(1);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) f.net.send(make_datagram(0, 1));
+  f.sim.run();
+  const double loss_rate =
+      static_cast<double>(f.net.stats().dropped_loss) / n;
+  EXPECT_NEAR(loss_rate, 0.25, 0.02);
+  EXPECT_EQ(f.net.stats().delivered + f.net.stats().dropped_loss,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(SimNetworkTest, BurstLossIsBurstier ) {
+  // Same average-ish loss, but Gilbert-Elliott produces runs of drops.
+  NetworkParams params;
+  params.loss = LossModel::burst(0.0, 1.0, 0.02, 0.2);
+  Fixture f(params);
+  f.net.attach(1, [](const Datagram&, TimeMs) {});
+  // Send sequentially; the loss decision happens synchronously in send(),
+  // so the drop counter identifies which packets the chain rejected.
+  int drop_runs = 0;
+  bool prev_dropped = false;
+  std::uint64_t last_dropped = 0;
+  for (int i = 0; i < 5000; ++i) {
+    f.net.send(make_datagram(0, 1));
+    const bool dropped = f.net.stats().dropped_loss > last_dropped;
+    last_dropped = f.net.stats().dropped_loss;
+    if (dropped && !prev_dropped) ++drop_runs;
+    prev_dropped = dropped;
+  }
+  const double total_drops = static_cast<double>(last_dropped);
+  ASSERT_GT(total_drops, 100.0);
+  // Mean drop-run length must exceed 1 (i.i.d. at the same rate would be
+  // close to 1/(1-p) which is near 1 for small p).
+  EXPECT_GT(total_drops / drop_runs, 2.0);
+}
+
+TEST(SimNetworkTest, PartitionBlocksBothDirections) {
+  Fixture f;
+  f.attach(1);
+  f.attach(2);
+  f.net.partition(1, 2);
+  EXPECT_TRUE(f.net.partitioned(1, 2));
+  EXPECT_TRUE(f.net.partitioned(2, 1));
+  f.net.send(make_datagram(1, 2));
+  f.net.send(make_datagram(2, 1));
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().dropped_partition, 2u);
+}
+
+TEST(SimNetworkTest, HealRestoresDelivery) {
+  Fixture f;
+  f.attach(2);
+  f.net.partition(1, 2);
+  f.net.heal(1, 2);
+  EXPECT_FALSE(f.net.partitioned(1, 2));
+  f.net.send(make_datagram(1, 2));
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 1u);
+}
+
+TEST(SimNetworkTest, HealAllClearsEverything) {
+  Fixture f;
+  f.net.partition(1, 2);
+  f.net.partition(3, 4);
+  f.net.heal_all();
+  EXPECT_FALSE(f.net.partitioned(1, 2));
+  EXPECT_FALSE(f.net.partitioned(3, 4));
+}
+
+TEST(SimNetworkTest, DownNodeNeitherSendsNorReceives) {
+  Fixture f;
+  f.attach(1);
+  f.attach(2);
+  f.net.set_node_up(1, false);
+  EXPECT_FALSE(f.net.node_up(1));
+  f.net.send(make_datagram(1, 2));  // down sender
+  f.net.send(make_datagram(2, 1));  // down receiver
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().dropped_down, 2u);
+}
+
+TEST(SimNetworkTest, CrashWhileInFlightDropsAtDelivery) {
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(10.0);
+  Fixture f(params);
+  f.attach(1);
+  f.net.send(make_datagram(0, 1));
+  f.sim.run_until(5);
+  f.net.set_node_up(1, false);  // crashes before the datagram lands
+  f.sim.run();
+  EXPECT_TRUE(f.received.empty());
+  EXPECT_EQ(f.net.stats().dropped_down, 1u);
+}
+
+TEST(SimNetworkTest, RecoveredNodeReceivesAgain) {
+  Fixture f;
+  f.attach(1);
+  f.net.set_node_up(1, false);
+  f.net.set_node_up(1, true);
+  f.net.send(make_datagram(0, 1));
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 1u);
+}
+
+TEST(SimNetworkTest, LinkLatencyOverridesDefault) {
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(1.0);
+  Fixture f(params);
+  f.attach(1);
+  f.attach(2);
+  f.net.set_link_latency(0, 2, LatencyModel::fixed(50.0));
+  f.net.send(make_datagram(0, 1));  // default link: 1 ms
+  f.net.send(make_datagram(0, 2));  // overridden: 50 ms
+  f.net.send(make_datagram(2, 0));  // symmetric override applies too
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 2u);
+  EXPECT_EQ(f.received[0].second, 1);
+  EXPECT_EQ(f.received[1].second, 50);
+}
+
+TEST(SimNetworkTest, ClearLinkLatenciesReverts) {
+  Fixture f;
+  f.attach(1);
+  f.net.set_link_latency(0, 1, LatencyModel::fixed(99.0));
+  f.net.clear_link_latencies();
+  f.net.send(make_datagram(0, 1));
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second, 1);  // back to the 1 ms default
+}
+
+TEST(SimNetworkTest, StatsCountSent) {
+  Fixture f;
+  f.attach(1);
+  for (int i = 0; i < 5; ++i) f.net.send(make_datagram(0, 1));
+  f.sim.run();
+  EXPECT_EQ(f.net.stats().sent, 5u);
+  EXPECT_EQ(f.net.stats().delivered, 5u);
+}
+
+}  // namespace
+}  // namespace agb::sim

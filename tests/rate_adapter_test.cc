@@ -1,0 +1,121 @@
+#include "adaptive/rate_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace agb::adaptive {
+namespace {
+
+AdaptiveParams base_params() {
+  AdaptiveParams p;
+  p.low_age_mark = 4.0;
+  p.high_age_mark = 6.0;
+  p.decrease_factor = 0.1;
+  p.increase_factor = 0.2;
+  p.increase_probability = 1.0;  // deterministic unless a test overrides
+  p.token_low_frac = 0.25;
+  p.token_high_frac = 0.75;
+  p.bucket_capacity = 8.0;
+  p.initial_rate = 10.0;
+  p.min_rate = 1.0;
+  p.max_rate = 100.0;
+  return p;
+}
+
+TEST(RateAdapterTest, LowAgeTriggersMultiplicativeDecrease) {
+  RateAdapter adapter(base_params(), Rng(1));
+  const double rate = adapter.update(/*avg_age=*/3.0, /*avg_tokens=*/0.0);
+  EXPECT_DOUBLE_EQ(rate, 9.0);  // 10 * (1 - 0.1)
+  EXPECT_EQ(adapter.last_action(), RateAdapter::Action::kDecrease);
+}
+
+TEST(RateAdapterTest, UnusedAllowanceTriggersDecreaseEvenWhenAgeHigh) {
+  // avgTokens high means the sender is not using its allowance; the paper
+  // shrinks it so a burst cannot exploit banked rate (§3.3).
+  RateAdapter adapter(base_params(), Rng(1));
+  const double rate = adapter.update(/*avg_age=*/9.0, /*avg_tokens=*/7.0);
+  EXPECT_DOUBLE_EQ(rate, 9.0);
+  EXPECT_EQ(adapter.last_action(), RateAdapter::Action::kDecrease);
+}
+
+TEST(RateAdapterTest, HighAgeWithFullUsageIncreases) {
+  RateAdapter adapter(base_params(), Rng(1));
+  const double rate = adapter.update(/*avg_age=*/7.0, /*avg_tokens=*/1.0);
+  EXPECT_DOUBLE_EQ(rate, 12.0);  // 10 * (1 + 0.2)
+  EXPECT_EQ(adapter.last_action(), RateAdapter::Action::kIncrease);
+}
+
+TEST(RateAdapterTest, HighAgeWithPartialUsageHolds) {
+  // avgTokens between the marks: neither congested nor fully used.
+  RateAdapter adapter(base_params(), Rng(1));
+  const double rate = adapter.update(/*avg_age=*/7.0, /*avg_tokens=*/4.0);
+  EXPECT_DOUBLE_EQ(rate, 10.0);
+  EXPECT_EQ(adapter.last_action(), RateAdapter::Action::kHold);
+}
+
+TEST(RateAdapterTest, DeadBandBetweenMarksHolds) {
+  RateAdapter adapter(base_params(), Rng(1));
+  const double rate = adapter.update(/*avg_age=*/5.0, /*avg_tokens=*/1.0);
+  EXPECT_DOUBLE_EQ(rate, 10.0);
+  EXPECT_EQ(adapter.last_action(), RateAdapter::Action::kHold);
+}
+
+TEST(RateAdapterTest, GammaZeroNeverIncreases) {
+  AdaptiveParams params = base_params();
+  params.increase_probability = 0.0;
+  RateAdapter adapter(params, Rng(1));
+  for (int i = 0; i < 50; ++i) {
+    adapter.update(9.0, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(adapter.rate(), 10.0);
+}
+
+TEST(RateAdapterTest, GammaControlsIncreaseFrequency) {
+  AdaptiveParams params = base_params();
+  params.increase_probability = 0.1;
+  params.increase_factor = 0.0;  // keep the rate fixed; count actions
+  RateAdapter adapter(params, Rng(7));
+  int increases = 0;
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i) {
+    adapter.update(9.0, 0.0);
+    if (adapter.last_action() == RateAdapter::Action::kIncrease) ++increases;
+  }
+  EXPECT_NEAR(static_cast<double>(increases) / rounds, 0.1, 0.01);
+}
+
+TEST(RateAdapterTest, RateClampsAtMinimum) {
+  RateAdapter adapter(base_params(), Rng(1));
+  for (int i = 0; i < 200; ++i) adapter.update(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(adapter.rate(), 1.0);
+}
+
+TEST(RateAdapterTest, RateClampsAtMaximum) {
+  RateAdapter adapter(base_params(), Rng(1));
+  for (int i = 0; i < 200; ++i) adapter.update(9.0, 0.0);
+  EXPECT_DOUBLE_EQ(adapter.rate(), 100.0);
+}
+
+TEST(RateAdapterTest, SetRateClampsToo) {
+  RateAdapter adapter(base_params(), Rng(1));
+  adapter.set_rate(0.01);
+  EXPECT_DOUBLE_EQ(adapter.rate(), 1.0);
+  adapter.set_rate(5000.0);
+  EXPECT_DOUBLE_EQ(adapter.rate(), 100.0);
+}
+
+TEST(RateAdapterTest, ConvergesFromAboveUnderCongestion) {
+  // Persistent low age drives the rate down geometrically.
+  RateAdapter adapter(base_params(), Rng(1));
+  double prev = adapter.rate();
+  for (int i = 0; i < 10; ++i) {
+    const double next = adapter.update(2.0, 0.0);
+    EXPECT_LT(next, prev);
+    prev = next;
+  }
+  EXPECT_NEAR(prev, 10.0 * std::pow(0.9, 10), 1e-9);
+}
+
+}  // namespace
+}  // namespace agb::adaptive

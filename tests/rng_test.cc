@@ -1,0 +1,186 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace agb {
+namespace {
+
+TEST(Splitmix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(Splitmix64Test, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit w.h.p.
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(33.3);
+  EXPECT_NEAR(sum / n, 33.3, 1.0);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(5.0), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(37);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.sample_indices(20, 5);
+    ASSERT_EQ(sample.size(), 5u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (auto idx : sample) EXPECT_LT(idx, 20u);
+  }
+}
+
+TEST(RngTest, SampleIndicesClampsToPopulation) {
+  Rng rng(41);
+  auto sample = rng.sample_indices(3, 10);
+  ASSERT_EQ(sample.size(), 3u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<std::size_t>{0, 1, 2}));
+}
+
+TEST(RngTest, SampleIndicesZero) {
+  Rng rng(43);
+  EXPECT_TRUE(rng.sample_indices(5, 0).empty());
+  EXPECT_TRUE(rng.sample_indices(0, 3).empty());
+}
+
+TEST(RngTest, SampleIndicesApproximatelyUniform) {
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto idx : rng.sample_indices(10, 3)) ++counts[idx];
+  }
+  // Each index is selected with probability 3/10.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(59);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace agb

@@ -1,0 +1,85 @@
+// Group-level tests of the robust k-minimum extension (paper §6): one
+// pathological node must not throttle everyone when robust_k > 1, while the
+// baseline (k=1) faithfully adapts to it.
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+
+namespace agb::core {
+namespace {
+
+ScenarioParams outlier_params(std::size_t robust_k, std::uint32_t floor) {
+  ScenarioParams p;
+  p.n = 24;
+  p.senders = 3;
+  p.offered_rate = 15.0;
+  p.adaptive = true;
+  p.gossip.fanout = 3;
+  p.gossip.gossip_period = 1000;
+  p.gossip.max_events = 80;
+  p.gossip.max_event_ids = 3000;
+  p.gossip.max_age = 12;
+  p.adaptation.sample_period = 4000;
+  p.adaptation.robust_k = robust_k;
+  p.adaptation.robust_floor = floor;
+  p.adaptation.initial_rate = 5.0;
+  p.warmup = 10'000;
+  p.duration = 60'000;
+  p.cooldown = 15'000;
+  p.seed = 5;
+  // One node with a pathologically tiny buffer.
+  p.capacity_schedule = {{0, 1.0 / 24.0, 4}};
+  return p;
+}
+
+TEST(RobustMinScenarioTest, BaselineThrottlesToTheOutlier) {
+  Scenario scenario(outlier_params(/*robust_k=*/1, /*floor=*/0));
+  auto r = scenario.run();
+  // minBuff converges to the outlier's 4 slots and the input collapses.
+  EXPECT_LE(r.avg_min_buff, 8.0);
+  EXPECT_LT(r.input_rate, 8.0);
+}
+
+TEST(RobustMinScenarioTest, K2IgnoresTheOutlier) {
+  Scenario scenario(outlier_params(/*robust_k=*/2, /*floor=*/0));
+  auto r = scenario.run();
+  // The 2nd-smallest buffer is a healthy 80; throughput is preserved.
+  EXPECT_GE(r.avg_min_buff, 60.0);
+  EXPECT_GT(r.input_rate, 10.0);
+  // The healthy majority still gets near-perfect delivery.
+  EXPECT_GT(r.delivery.avg_receiver_pct, 90.0);
+}
+
+TEST(RobustMinScenarioTest, FloorVariantIgnoresTheOutlier) {
+  Scenario scenario(outlier_params(/*robust_k=*/2, /*floor=*/10));
+  auto r = scenario.run();
+  EXPECT_GE(r.avg_min_buff, 60.0);
+  EXPECT_GT(r.input_rate, 10.0);
+}
+
+TEST(RobustMinScenarioTest, K2StillAdaptsWhenManyNodesShrink) {
+  // Robustness must not mean blindness: if a *fifth* of the group shrinks,
+  // the 2nd smallest is small too and the rate must come down.
+  auto p = outlier_params(2, 0);
+  p.capacity_schedule = {{0, 0.2, 8}};  // ~5 nodes at 8 slots
+  Scenario scenario(p);
+  auto r = scenario.run();
+  EXPECT_LE(r.avg_min_buff, 10.0);
+  EXPECT_LT(r.input_rate, 10.0);
+}
+
+TEST(RobustMinScenarioTest, MinSetTravelsOnlyWhenEnabled) {
+  // robust_k = 1 must keep headers minimal (no min_set bytes).
+  Scenario baseline(outlier_params(1, 0));
+  (void)baseline.run();
+  auto out = baseline.adaptive_nodes().front()->on_round(1'000'000);
+  EXPECT_TRUE(out.message.min_set.empty());
+
+  Scenario robust(outlier_params(2, 0));
+  (void)robust.run();
+  auto robust_out = robust.adaptive_nodes().front()->on_round(1'000'000);
+  EXPECT_FALSE(robust_out.message.min_set.empty());
+}
+
+}  // namespace
+}  // namespace agb::core

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adaptive/adaptive_node.h"
+#include "membership/full_membership.h"
+#include "runtime/inmemory_fabric.h"
+#include "runtime/node_runtime.h"
+#include "runtime/udp_transport.h"
+
+namespace agb::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Polls `predicate` until true or the deadline passes; real-time tests must
+// never sleep a fixed "long enough" interval.
+bool eventually(const std::function<bool()>& predicate,
+                std::chrono::milliseconds deadline = 5000ms) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+TEST(InMemoryFabricTest, DeliversToAttachedHandler) {
+  InMemoryFabric fabric({});
+  std::atomic<int> received{0};
+  fabric.attach(1, [&](const Datagram& d, TimeMs) {
+    if (d.payload == std::vector<std::uint8_t>{7}) received.fetch_add(1);
+  });
+  fabric.send(Datagram{0, 1, {7}});
+  EXPECT_TRUE(eventually([&] { return received.load() == 1; }));
+  EXPECT_EQ(fabric.delivered(), 1u);
+}
+
+TEST(InMemoryFabricTest, DropsForUnknownDestination) {
+  InMemoryFabric fabric({});
+  fabric.send(Datagram{0, 42, {1}});
+  EXPECT_TRUE(eventually([&] { return fabric.dropped() == 1; }));
+}
+
+TEST(InMemoryFabricTest, FullLossDropsEverything) {
+  InMemoryFabric::Params params;
+  params.loss_probability = 1.0;
+  InMemoryFabric fabric(params);
+  std::atomic<int> received{0};
+  fabric.attach(1, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  for (int i = 0; i < 20; ++i) fabric.send(Datagram{0, 1, {1}});
+  EXPECT_TRUE(eventually([&] { return fabric.dropped() == 20; }));
+  EXPECT_EQ(received.load(), 0);
+}
+
+TEST(InMemoryFabricTest, ShutdownIsIdempotentAndStopsDelivery) {
+  InMemoryFabric fabric({});
+  fabric.shutdown();
+  fabric.shutdown();
+  fabric.send(Datagram{0, 1, {1}});  // discarded, no crash
+}
+
+TEST(InMemoryFabricTest, ClockIsMonotone) {
+  InMemoryFabric fabric({});
+  const TimeMs a = fabric.now();
+  std::this_thread::sleep_for(10ms);
+  const TimeMs b = fabric.now();
+  EXPECT_GE(b, a + 5);
+}
+
+std::unique_ptr<gossip::LpbcastNode> make_protocol_node(
+    NodeId self, std::size_t n, bool adaptive, std::size_t max_events = 100,
+    DurationMs period = 20) {
+  auto members = std::make_unique<membership::FullMembership>(
+      self, Rng(self * 17 + 3));
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != self) members->add(id);
+  }
+  gossip::GossipParams params;
+  params.fanout = 3;
+  params.gossip_period = period;
+  params.max_events = max_events;
+  params.max_event_ids = 1000;
+  params.max_age = 15;
+  if (adaptive) {
+    adaptive::AdaptiveParams ap;
+    ap.sample_period = 2 * period;
+    ap.initial_rate = 50.0;
+    ap.bucket_capacity = 10.0;
+    return std::make_unique<adaptive::AdaptiveLpbcastNode>(
+        self, params, ap, std::move(members), Rng(self + 100));
+  }
+  return std::make_unique<gossip::LpbcastNode>(self, params,
+                                               std::move(members),
+                                               Rng(self + 100));
+}
+
+TEST(NodeRuntimeTest, GossipGroupDisseminatesOverFabric) {
+  constexpr std::size_t kNodes = 5;
+  InMemoryFabric fabric({});
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes;
+  std::atomic<int> total_deliveries{0};
+  for (NodeId id = 0; id < kNodes; ++id) {
+    auto runtime = std::make_unique<NodeRuntime>(
+        make_protocol_node(id, kNodes, /*adaptive=*/false), fabric,
+        [&fabric] { return fabric.now(); });
+    runtime->set_deliver_handler(
+        [&](const gossip::Event&, TimeMs) { total_deliveries.fetch_add(1); });
+    runtimes.push_back(std::move(runtime));
+  }
+  for (auto& r : runtimes) r->start();
+  runtimes[0]->broadcast(gossip::make_payload({1, 2, 3}));
+  // The origin delivers immediately; the other 4 within a few rounds.
+  EXPECT_TRUE(eventually([&] { return total_deliveries.load() >= 5; }));
+  for (auto& r : runtimes) r->stop();
+  EXPECT_EQ(total_deliveries.load(), 5);
+}
+
+TEST(NodeRuntimeTest, BaselineNodeRefusesTryBroadcast) {
+  InMemoryFabric fabric({});
+  NodeRuntime runtime(make_protocol_node(0, 2, false), fabric,
+                      [&fabric] { return fabric.now(); });
+  EXPECT_FALSE(runtime.adaptive());
+  EXPECT_FALSE(runtime.try_broadcast(gossip::make_payload({1})));
+}
+
+TEST(NodeRuntimeTest, AdaptiveNodeGatesBroadcasts) {
+  InMemoryFabric fabric({});
+  NodeRuntime runtime(make_protocol_node(0, 2, true), fabric,
+                      [&fabric] { return fabric.now(); });
+  EXPECT_TRUE(runtime.adaptive());
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (runtime.try_broadcast(gossip::make_payload({1}))) ++accepted;
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 100);  // bucket capacity 10 caps the burst
+  EXPECT_GT(runtime.allowed_rate(), 0.0);
+}
+
+TEST(NodeRuntimeTest, AdaptiveGroupAgreesOnMinBuffOverFabric) {
+  constexpr std::size_t kNodes = 4;
+  InMemoryFabric fabric({});
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    // Node 2 has the smallest buffer (7); everyone must learn "7".
+    const std::size_t cap = (id == 2) ? 7 : 50;
+    runtimes.push_back(std::make_unique<NodeRuntime>(
+        make_protocol_node(id, kNodes, /*adaptive=*/true, cap), fabric,
+        [&fabric] { return fabric.now(); }));
+  }
+  for (auto& r : runtimes) r->start();
+  // Traffic so gossip messages flow.
+  for (int i = 0; i < 5; ++i) {
+    (void)runtimes[0]->try_broadcast(gossip::make_payload({9}));
+  }
+  EXPECT_TRUE(eventually([&] {
+    for (auto& r : runtimes) {
+      if (r->min_buff() != 7) return false;
+    }
+    return true;
+  }));
+  for (auto& r : runtimes) r->stop();
+}
+
+TEST(NodeRuntimeTest, StopIsIdempotent) {
+  InMemoryFabric fabric({});
+  NodeRuntime runtime(make_protocol_node(0, 2, false), fabric,
+                      [&fabric] { return fabric.now(); });
+  runtime.start();
+  runtime.stop();
+  runtime.stop();
+}
+
+TEST(NodeRuntimeTest, SetCapacityWhileRunning) {
+  InMemoryFabric fabric({});
+  NodeRuntime runtime(make_protocol_node(0, 2, true), fabric,
+                      [&fabric] { return fabric.now(); });
+  runtime.start();
+  runtime.set_capacity(5);
+  EXPECT_TRUE(eventually([&] { return runtime.min_buff() == 5; }));
+  runtime.stop();
+}
+
+TEST(UdpTransportTest, RoundTripOverLoopback) {
+  UdpTransport transport(28'500);
+  std::atomic<bool> got{false};
+  Datagram seen;
+  transport.attach(1, [&](const Datagram& d, TimeMs) {
+    seen = d;
+    got.store(true);
+  });
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.send(Datagram{0, 1, {0xaa, 0xbb}});
+  ASSERT_TRUE(eventually([&] { return got.load(); }));
+  EXPECT_EQ(seen.from, 0u);
+  EXPECT_EQ(seen.to, 1u);
+  EXPECT_EQ(seen.payload, (std::vector<std::uint8_t>{0xaa, 0xbb}));
+  transport.detach(0);
+  transport.detach(1);
+}
+
+TEST(UdpTransportTest, SendWithoutAttachedSourceFails) {
+  UdpTransport transport(28'600);
+  transport.send(Datagram{5, 6, {1}});
+  EXPECT_EQ(transport.send_failures(), 1u);
+}
+
+TEST(UdpTransportTest, GossipGroupOverRealSockets) {
+  constexpr std::size_t kNodes = 3;
+  UdpTransport transport(28'700);
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes;
+  std::atomic<int> deliveries{0};
+  for (NodeId id = 0; id < kNodes; ++id) {
+    auto runtime = std::make_unique<NodeRuntime>(
+        make_protocol_node(id, kNodes, /*adaptive=*/false, 100, 30),
+        transport, [&transport] { return transport.now(); });
+    runtime->set_deliver_handler(
+        [&](const gossip::Event&, TimeMs) { deliveries.fetch_add(1); });
+    runtimes.push_back(std::move(runtime));
+  }
+  for (auto& r : runtimes) r->start();
+  runtimes[0]->broadcast(gossip::make_payload({1}));
+  EXPECT_TRUE(eventually([&] { return deliveries.load() >= 3; }));
+  for (auto& r : runtimes) r->stop();
+}
+
+}  // namespace
+}  // namespace agb::runtime

@@ -1,0 +1,160 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace agb::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, ClockAdvancesBeforeCallbackRuns) {
+  // Regression test: callbacks scheduling relative delays must observe the
+  // fire time, not the previous event's time (this bug skewed Poisson
+  // arrival rates by ~30% before it was fixed).
+  Simulator sim;
+  TimeMs observed = -1;
+  sim.at(50, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, 50);
+}
+
+TEST(SimulatorTest, RelativeChainHasExactCadence) {
+  Simulator sim;
+  std::vector<TimeMs> fire_times;
+  std::function<void()> tick = [&] {
+    fire_times.push_back(sim.now());
+    if (fire_times.size() < 5) sim.after(10, tick);
+  };
+  sim.after(10, tick);
+  sim.run();
+  EXPECT_EQ(fire_times, (std::vector<TimeMs>{10, 20, 30, 40, 50}));
+}
+
+TEST(SimulatorTest, AtClampsToNow) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 100);
+  TimeMs fired_at = -1;
+  sim.at(5, [&] { fired_at = sim.now(); });  // in the past: fires "now"
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator sim;
+  TimeMs fired_at = -1;
+  sim.after(-50, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(20, [&] { ++fired; });
+  sim.at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(100);  // queue empties; clock still reaches the deadline
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(25);
+  EXPECT_EQ(sim.now(), 25);
+  sim.run_for(25);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTimerTest, FiresAtStartThenEveryPeriod) {
+  Simulator sim;
+  std::vector<TimeMs> fires;
+  PeriodicTimer timer(sim, 5, 10, [&](TimeMs t) { fires.push_back(t); });
+  sim.run_until(45);
+  EXPECT_EQ(fires, (std::vector<TimeMs>{5, 15, 25, 35, 45}));
+}
+
+TEST(PeriodicTimerTest, CancelStopsFiring) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, 0, 10, [&](TimeMs) { ++fires; });
+  sim.run_until(25);
+  EXPECT_EQ(fires, 3);  // t = 0, 10, 20
+  timer.cancel();
+  EXPECT_FALSE(timer.active());
+  sim.run_until(100);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimerTest, DestructionCancels) {
+  Simulator sim;
+  int fires = 0;
+  {
+    PeriodicTimer timer(sim, 0, 10, [&](TimeMs) { ++fires; });
+    sim.run_until(5);
+  }
+  sim.run_until(100);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(PeriodicTimerTest, SetPeriodTakesEffectNextFiring) {
+  Simulator sim;
+  std::vector<TimeMs> fires;
+  PeriodicTimer timer(sim, 0, 10, [&](TimeMs t) { fires.push_back(t); });
+  sim.run_until(10);  // fires at 0 and 10; next armed for 20
+  timer.set_period(50);
+  sim.run_until(120);
+  ASSERT_GE(fires.size(), 4u);
+  EXPECT_EQ(fires[0], 0);
+  EXPECT_EQ(fires[1], 10);
+  EXPECT_EQ(fires[2], 20);   // already armed with the old period
+  EXPECT_EQ(fires[3], 70);   // 20 + 50
+}
+
+TEST(PeriodicTimerTest, CancelFromWithinCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer* self = nullptr;
+  PeriodicTimer timer(sim, 0, 10, [&](TimeMs) {
+    ++fires;
+    if (fires == 2) self->cancel();
+  });
+  self = &timer;
+  sim.run_until(100);
+  EXPECT_EQ(fires, 2);
+}
+
+}  // namespace
+}  // namespace agb::sim

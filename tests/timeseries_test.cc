@@ -1,0 +1,70 @@
+#include "metrics/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/table.h"
+
+namespace agb::metrics {
+namespace {
+
+TEST(TimeSeriesTest, MeanInWindow) {
+  TimeSeries ts("x");
+  ts.add(0, 10.0);
+  ts.add(100, 20.0);
+  ts.add(200, 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(0, 201), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(50, 201), 25.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(500, 600), 0.0);
+}
+
+TEST(TimeSeriesTest, ValueAtReturnsLastAtOrBefore) {
+  TimeSeries ts("x");
+  ts.add(100, 1.0);
+  ts.add(200, 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(50, -1.0), -1.0);  // before first point
+  EXPECT_DOUBLE_EQ(ts.value_at(100), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(150), 1.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(999), 2.0);
+}
+
+TEST(TimeSeriesTest, NameAndSize) {
+  TimeSeries ts("atomicity");
+  EXPECT_EQ(ts.name(), "atomicity");
+  EXPECT_TRUE(ts.empty());
+  ts.add(1, 1.0);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TimeSeriesTest, CsvAlignsSeriesOnFirstSeriesTimestamps) {
+  TimeSeries a("a");
+  a.add(0, 1.0);
+  a.add(10, 2.0);
+  TimeSeries b("b");
+  b.add(0, 5.0);
+  std::ostringstream os;
+  write_csv(os, {&a, &b});
+  EXPECT_EQ(os.str(), "time_ms,a,b\n0,1,5\n10,2,5\n");
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"col", "value"});
+  t.add_row({"a", "1"});
+  t.add_numeric_row({2.0, 3.14159}, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, FmtFixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace agb::metrics

@@ -1,0 +1,124 @@
+#include "flowcontrol/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "flowcontrol/rate_controller.h"
+
+namespace agb::flowcontrol {
+namespace {
+
+TEST(TokenBucketTest, StartsFull) {
+  TokenBucket b(10.0, 5.0, 0);
+  EXPECT_DOUBLE_EQ(b.level(0), 5.0);
+}
+
+TEST(TokenBucketTest, TakeConsumesOneToken) {
+  TokenBucket b(0.0, 3.0, 0);  // no refill: pure consumption
+  EXPECT_TRUE(b.try_take(0));
+  EXPECT_TRUE(b.try_take(0));
+  EXPECT_TRUE(b.try_take(0));
+  EXPECT_FALSE(b.try_take(0));
+  EXPECT_DOUBLE_EQ(b.level(0), 0.0);
+}
+
+TEST(TokenBucketTest, RefillsAtConfiguredRate) {
+  TokenBucket b(10.0, 100.0, 0);  // 10 tokens/s
+  while (b.try_take(0)) {
+  }
+  EXPECT_DOUBLE_EQ(b.level(1000), 10.0);
+  EXPECT_DOUBLE_EQ(b.level(1500), 15.0);
+}
+
+TEST(TokenBucketTest, RefillCapsAtCapacity) {
+  TokenBucket b(1000.0, 4.0, 0);
+  (void)b.try_take(0);
+  EXPECT_DOUBLE_EQ(b.level(60'000), 4.0);
+}
+
+TEST(TokenBucketTest, FractionalTokensAccumulate) {
+  TokenBucket b(1.0, 10.0, 0);  // 1 token/s
+  while (b.try_take(0)) {
+  }
+  EXPECT_FALSE(b.try_take(500));  // only 0.5 tokens
+  EXPECT_TRUE(b.try_take(1000));  // 1.0 token
+  EXPECT_FALSE(b.try_take(1000));
+}
+
+TEST(TokenBucketTest, SetRateAccountsPastTimeAtOldRate) {
+  TokenBucket b(10.0, 100.0, 0);
+  while (b.try_take(0)) {
+  }
+  b.set_rate(100.0, 1000);  // 1 s at 10/s has already accrued 10 tokens
+  EXPECT_DOUBLE_EQ(b.level(1000), 10.0);
+  EXPECT_DOUBLE_EQ(b.level(1100), 20.0);  // then 0.1 s at 100/s
+  EXPECT_DOUBLE_EQ(b.rate(), 100.0);
+}
+
+TEST(TokenBucketTest, SetCapacityClampsTokens) {
+  TokenBucket b(1.0, 10.0, 0);
+  b.set_capacity(3.0, 0);
+  EXPECT_DOUBLE_EQ(b.level(0), 3.0);
+  EXPECT_DOUBLE_EQ(b.capacity(), 3.0);
+}
+
+TEST(TokenBucketTest, TimeGoingBackwardIsIgnored) {
+  TokenBucket b(10.0, 10.0, 1000);
+  while (b.try_take(1000)) {
+  }
+  EXPECT_DOUBLE_EQ(b.level(500), 0.0);  // stale timestamp: no refill
+  EXPECT_DOUBLE_EQ(b.level(2000), 10.0);
+}
+
+TEST(TokenBucketTest, ZeroRateNeverRefills) {
+  TokenBucket b(0.0, 2.0, 0);
+  (void)b.try_take(0);
+  (void)b.try_take(0);
+  EXPECT_FALSE(b.try_take(1'000'000));
+}
+
+TEST(TokenBucketTest, BoundsLongRunThroughput) {
+  // Over 100 s at 7 msg/s with burst capacity 8, at most 708 sends succeed.
+  TokenBucket b(7.0, 8.0, 0);
+  int sent = 0;
+  for (TimeMs t = 0; t <= 100'000; t += 10) {
+    if (b.try_take(t)) ++sent;
+  }
+  EXPECT_LE(sent, 709);
+  EXPECT_GE(sent, 700);
+}
+
+TEST(StaticRateTest, ReturnsConfiguredRate) {
+  StaticRate r(12.5);
+  EXPECT_DOUBLE_EQ(r.allowed_rate(), 12.5);
+  r.set_rate(1.0);
+  EXPECT_DOUBLE_EQ(r.allowed_rate(), 1.0);
+}
+
+TEST(AimdControllerTest, AdditiveIncreaseMultiplicativeDecrease) {
+  AimdController::Params params;
+  params.additive_increase = 1.0;
+  params.multiplicative_decrease = 0.5;
+  params.min_rate = 0.5;
+  params.max_rate = 100.0;
+  AimdController c(params, 10.0);
+  c.update(false);
+  EXPECT_DOUBLE_EQ(c.allowed_rate(), 11.0);
+  c.update(true);
+  EXPECT_DOUBLE_EQ(c.allowed_rate(), 5.5);
+}
+
+TEST(AimdControllerTest, ClampsToBounds) {
+  AimdController::Params params;
+  params.additive_increase = 50.0;
+  params.multiplicative_decrease = 0.01;
+  params.min_rate = 1.0;
+  params.max_rate = 20.0;
+  AimdController c(params, 10.0);
+  c.update(false);
+  EXPECT_DOUBLE_EQ(c.allowed_rate(), 20.0);
+  c.update(true);
+  EXPECT_DOUBLE_EQ(c.allowed_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace agb::flowcontrol
