@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace agb::bench {
 
@@ -16,46 +17,18 @@ Config parse_cli(int argc, char** argv) {
   return cfg;
 }
 
+core::ScenarioParams preset_params(const std::string& name,
+                                   const Config& cfg) {
+  try {
+    return core::ScenarioRegistry::instance().build(name, cfg);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "scenario: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
 core::ScenarioParams paper_params(const Config& cfg) {
-  core::ScenarioParams p;
-  p.n = static_cast<std::size_t>(cfg.get_int("n", 60));
-  p.senders = static_cast<std::size_t>(cfg.get_int("senders", 4));
-  p.offered_rate = cfg.get_double("rate", 30.0);
-  p.payload_size = static_cast<std::size_t>(cfg.get_int("payload", 16));
-  p.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-
-  p.gossip.fanout = static_cast<std::size_t>(cfg.get_int("fanout", 4));
-  p.gossip.gossip_period = cfg.get_int("period_ms", 2000);
-  p.gossip.max_events = static_cast<std::size_t>(cfg.get_int("buffer", 120));
-  p.gossip.max_event_ids =
-      static_cast<std::size_t>(cfg.get_int("event_ids", 4000));
-  p.gossip.max_age =
-      static_cast<std::uint32_t>(cfg.get_int("max_age", 12));
-
-  p.adaptation.sample_period =
-      cfg.get_int("tau_ms", 2 * p.gossip.gossip_period);
-  p.adaptation.min_buff_window =
-      static_cast<std::size_t>(cfg.get_int("window", 2));
-  p.adaptation.alpha = cfg.get_double("alpha", 0.9);
-  p.adaptation.critical_age = cfg.get_double("critical_age", kCriticalAge);
-  p.adaptation.low_age_mark =
-      cfg.get_double("low_mark", p.adaptation.critical_age - 0.5);
-  p.adaptation.high_age_mark =
-      cfg.get_double("high_mark", p.adaptation.critical_age + 0.5);
-  p.adaptation.decrease_factor = cfg.get_double("delta_d", 0.1);
-  p.adaptation.increase_factor = cfg.get_double("delta_i", 0.1);
-  p.adaptation.increase_probability = cfg.get_double("gamma", 0.1);
-  p.adaptation.bucket_capacity = cfg.get_double("bucket", 8.0);
-  p.adaptation.initial_rate =
-      cfg.get_double("initial_rate",
-                     p.offered_rate / static_cast<double>(p.senders));
-  p.adaptation.idle_age_boost = cfg.get_bool("idle_age_boost", true);
-
-  const bool quick = cfg.get_bool("quick", false);
-  p.warmup = cfg.get_int("warmup_s", quick ? 20 : 40) * 1000;
-  p.duration = cfg.get_int("duration_s", quick ? 60 : 150) * 1000;
-  p.cooldown = cfg.get_int("cooldown_s", 30) * 1000;
-  return p;
+  return preset_params("paper60", cfg);
 }
 
 void print_banner(const std::string& figure, const std::string& description,

@@ -1,10 +1,9 @@
-// Shared experiment configuration for the figure-reproduction benches.
+// Shared CLI plumbing for the figure-reproduction benches.
 //
-// Every bench binary reproduces one figure of the paper on the calibrated
-// "paper60" configuration: 60 nodes, fanout 4, and a 2 s gossip period —
-// the period at which this substrate's capacity knee lands at the paper's
-// buffer-size axis (≈120 events at 30 msg/s; see EXPERIMENTS.md for the
-// calibration). Benches accept key=value overrides, e.g.:
+// Every bench binary reproduces one figure of the paper on a named preset
+// from core::ScenarioRegistry (the calibrated "paper60" configuration and
+// its figure-specific variants; see src/core/scenario_registry.h for the
+// catalogue). Benches accept key=value overrides, e.g.:
 //
 //   fig8_reliability seed=7 duration_s=60 quick=1
 //
@@ -16,6 +15,7 @@
 
 #include "common/config.h"
 #include "core/scenario.h"
+#include "core/scenario_registry.h"
 
 namespace agb::bench {
 
@@ -23,12 +23,15 @@ namespace agb::bench {
 /// under the bimodal-atomicity criterion the adaptive marks target.
 /// Regenerate with bench/fig4_max_rate, which prints the knee ages under
 /// both criteria (avg-receivers: 5.60 +- 0.10; atomicity: 7.98 +- 0.28).
-inline constexpr double kCriticalAge = 8.0;
+inline constexpr double kCriticalAge = core::kPaper60CriticalAge;
 
-/// Builds the paper60 scenario configuration with overrides from `cfg`.
-/// Recognised keys: seed, n, senders, fanout, period_ms, buffer, rate,
-/// max_age, event_ids, warmup_s, duration_s, cooldown_s, quick,
-/// low_mark, high_mark, tau_ms, window, alpha, gamma, delta.
+/// Builds the named registry preset with overrides from `cfg`. The thin
+/// wrapper exists so every bench resolves parameters the same way:
+///   auto base = bench::preset_params("fig8", cfg);
+core::ScenarioParams preset_params(const std::string& name,
+                                   const Config& cfg);
+
+/// Backwards-compatible alias for the paper60 preset.
 core::ScenarioParams paper_params(const Config& cfg);
 
 /// Parses argv into a Config; exits with a usage message on bad input.

@@ -14,9 +14,7 @@
 int main(int argc, char** argv) {
   using namespace agb;
   auto cfg = bench::parse_cli(argc, argv);
-  auto base = bench::paper_params(cfg);
-  base.gossip.max_events =
-      static_cast<std::size_t>(cfg.get_int("buffer", 60));
+  auto base = bench::preset_params("fig2", cfg);
 
   bench::print_banner("Figure 2", "reliability degradation vs input rate",
                       base);

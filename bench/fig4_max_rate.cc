@@ -14,7 +14,7 @@
 int main(int argc, char** argv) {
   using namespace agb;
   auto cfg = bench::parse_cli(argc, argv);
-  auto base = bench::paper_params(cfg);
+  auto base = bench::preset_params("fig4", cfg);
   // The search probes many runs; shorten each one.
   const bool quick = cfg.get_bool("quick", false);
   base.duration = cfg.get_int("search_duration_s", quick ? 40 : 90) * 1000;

@@ -17,7 +17,7 @@
 int main(int argc, char** argv) {
   using namespace agb;
   auto cfg = bench::parse_cli(argc, argv);
-  auto base = bench::paper_params(cfg);
+  auto base = bench::preset_params("fig6", cfg);
   const bool quick = cfg.get_bool("quick", false);
 
   bench::print_banner("Figure 6",

@@ -10,7 +10,7 @@
 int main(int argc, char** argv) {
   using namespace agb;
   auto cfg = bench::parse_cli(argc, argv);
-  auto base = bench::paper_params(cfg);
+  auto base = bench::preset_params("fig7", cfg);
 
   bench::print_banner(
       "Figure 7", "rates and drop ages, lpbcast vs adaptive (30 msg/s)",

@@ -11,7 +11,7 @@
 int main(int argc, char** argv) {
   using namespace agb;
   auto cfg = bench::parse_cli(argc, argv);
-  auto base = bench::paper_params(cfg);
+  auto base = bench::preset_params("fig8", cfg);
 
   bench::print_banner("Figure 8",
                       "reliability, lpbcast vs adaptive (30 msg/s)", base);

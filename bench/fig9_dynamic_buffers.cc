@@ -18,33 +18,24 @@
 int main(int argc, char** argv) {
   using namespace agb;
   auto cfg = bench::parse_cli(argc, argv);
-  auto base = bench::paper_params(cfg);
-
-  // Timeline (relative to the start of the evaluation window).
-  const TimeMs t1 = cfg.get_int("t1_s", 150) * 1000;
-  const TimeMs t2 = cfg.get_int("t2_s", 300) * 1000;
-  base.duration = cfg.get_int("duration_s", 450) * 1000;
-  base.series_bucket = cfg.get_int("bucket_s", 10) * 1000;
-  // The paper starts "in a configuration where the input load does not
-  // exceed the system capacity" but close to it, so the shrink bites.
-  // Capacity at 90-slot buffers under the atomicity criterion is ~41 msg/s
-  // here (bench/fig4_max_rate); 36 rides just under it. For a starker
-  // lpbcast collapse, try rate=36 buf1=30 fraction=0.3 (see EXPERIMENTS.md).
-  base.offered_rate = cfg.get_double("rate", 36.0);
-  base.adaptation.initial_rate =
-      base.offered_rate / static_cast<double>(base.senders);
-  // Recovery at the paper's pace is slow (gamma=0.1); the figure uses a
-  // slightly more eager recovery so the 450 s window shows both phases.
-  base.adaptation.increase_probability = cfg.get_double("gamma", 0.2);
-
-  base.gossip.max_events = static_cast<std::size_t>(cfg.get_int("buf0", 90));
-  const auto buf1 = static_cast<std::size_t>(cfg.get_int("buf1", 45));
-  const auto buf2 = static_cast<std::size_t>(cfg.get_int("buf2", 60));
-  const double fraction = cfg.get_double("fraction", 0.2);
-  base.capacity_schedule = {
-      {base.warmup + t1, fraction, buf1},
-      {base.warmup + t2, fraction, buf2},
-  };
+  // The fig9 preset carries the whole timeline: load just under the 90-slot
+  // capacity knee, eager-recovery gamma, and the 90 -> 45 -> 60 capacity
+  // schedule (override with t1_s/t2_s/buf1/buf2/fraction or a raw
+  // capacity= spec). For a starker lpbcast collapse, try rate=36 buf1=30
+  // fraction=0.3 (see EXPERIMENTS.md).
+  auto base = bench::preset_params("fig9", cfg);
+  base.gossip.max_events = static_cast<std::size_t>(
+      cfg.get_int("buf0", static_cast<long long>(base.gossip.max_events)));
+  if (base.capacity_schedule.size() != 2) {
+    std::fprintf(stderr,
+                 "fig9 needs a two-step capacity schedule (got %zu steps)\n",
+                 base.capacity_schedule.size());
+    return 2;
+  }
+  const TimeMs t1 = base.capacity_schedule[0].at - base.warmup;
+  const TimeMs t2 = base.capacity_schedule[1].at - base.warmup;
+  const auto buf1 = base.capacity_schedule[0].new_capacity;
+  const auto buf2 = base.capacity_schedule[1].new_capacity;
 
   bench::print_banner(
       "Figure 9",

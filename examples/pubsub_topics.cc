@@ -94,7 +94,7 @@ std::unique_ptr<TopicGroup> make_topic(std::size_t topic, sim::Simulator& sim,
         sim, phase, kRoundMs, [raw = node.get(), &net](TimeMs now) {
           auto out = raw->on_round(now);
           if (out.targets.empty()) return;
-          auto bytes = out.message.encode();
+          const SharedBytes bytes = out.message.encode_shared();
           for (NodeId target : out.targets) {
             net.send(Datagram{raw->id(), target, bytes});
           }

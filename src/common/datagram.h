@@ -9,17 +9,21 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
 
+#include "common/shared_bytes.h"
 #include "common/types.h"
 
 namespace agb {
 
 /// An unreliable, unordered, point-to-point message (UDP semantics).
+///
+/// The payload is a SharedBytes: a batch fanned out to F targets encodes
+/// once and every copy of the datagram — in flight, queued, delivered —
+/// aliases the same buffer. Networks must never mutate it.
 struct Datagram {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
-  std::vector<std::uint8_t> payload;
+  SharedBytes payload;
 };
 
 /// Receives datagrams addressed to one node.

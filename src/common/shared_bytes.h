@@ -1,0 +1,87 @@
+// Immutable, reference-counted byte buffer for the datagram pipeline.
+//
+// A gossip round sends *the same encoded message* to `fanout` targets, and
+// each copy may additionally sit in a delay queue before delivery. Carrying
+// the payload as a SharedBytes means the bytes are produced once (one
+// GossipMessage::encode) and every Datagram — across fan-out targets, delay
+// queues and delivery callbacks — shares the same heap buffer; copying a
+// SharedBytes is a reference-count bump, never a byte copy.
+//
+// The buffer is logically immutable. The copy-on-write escape hatch
+// (mutate()) clones the bytes only when they are actually shared, so a
+// unique owner can still edit in place.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace agb {
+
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Takes ownership of `bytes` without copying them. Implicit on purpose:
+  /// codec output (`std::vector<std::uint8_t>`) flows into Datagrams
+  /// directly.
+  SharedBytes(std::vector<std::uint8_t> bytes)
+      : buf_(std::make_shared<std::vector<std::uint8_t>>(std::move(bytes))) {}
+
+  SharedBytes(std::initializer_list<std::uint8_t> bytes)
+      : SharedBytes(std::vector<std::uint8_t>(bytes)) {}
+
+  /// Copies `bytes` into a fresh buffer (for callers holding a borrowed
+  /// span, e.g. a socket receive buffer).
+  static SharedBytes copy_of(std::span<const std::uint8_t> bytes) {
+    return SharedBytes(std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return buf_ ? buf_->data() : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return buf_ ? buf_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return {data(), size()};
+  }
+  operator std::span<const std::uint8_t>() const noexcept { return view(); }
+
+  [[nodiscard]] const std::uint8_t* begin() const noexcept { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const noexcept {
+    return data() + size();
+  }
+
+  /// How many SharedBytes instances share this buffer (0 for empty). The
+  /// zero-copy pipeline tests assert on this.
+  [[nodiscard]] long use_count() const noexcept { return buf_.use_count(); }
+
+  /// Copy-on-write access: returns a mutable reference to the underlying
+  /// vector, cloning the bytes first iff they are shared with anyone else.
+  [[nodiscard]] std::vector<std::uint8_t>& mutate() {
+    if (!buf_) {
+      buf_ = std::make_shared<std::vector<std::uint8_t>>();
+    } else if (buf_.use_count() > 1) {
+      buf_ = std::make_shared<std::vector<std::uint8_t>>(*buf_);
+    }
+    return *buf_;
+  }
+
+  /// Byte-wise equality (not buffer identity). A bare vector converts
+  /// implicitly, so `payload == std::vector<std::uint8_t>{...}` works too.
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  std::shared_ptr<std::vector<std::uint8_t>> buf_;  // logically immutable
+};
+
+}  // namespace agb

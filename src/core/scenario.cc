@@ -111,9 +111,9 @@ void Scenario::build_nodes() {
 void Scenario::emit(gossip::LpbcastNode& node,
                     const gossip::LpbcastNode::Outgoing& out) {
   if (!out.targets.empty()) {
-    // Encode once; identical bytes go to every target (what a real driver
-    // does, and what keeps codec cost linear in messages, not targets).
-    auto bytes = out.message.encode();
+    // Encode once; every target's Datagram aliases the same SharedBytes
+    // buffer (codec cost linear in messages, byte copies zero).
+    const SharedBytes bytes = out.message.encode_shared();
     for (NodeId target : out.targets) {
       net_->send(Datagram{node.id(), target, bytes});
     }
@@ -125,6 +125,12 @@ void Scenario::drain_outbox(gossip::LpbcastNode& node) {
   for (auto& control : node.take_outbox()) {
     net_->send(Datagram{node.id(), control.target,
                         std::move(control.payload)});
+  }
+}
+
+void Scenario::apply_topology() {
+  for (const auto& link : params_.link_latencies) {
+    net_->set_link_latency(link.a, link.b, link.model);
   }
 }
 
@@ -263,6 +269,7 @@ ScenarioResults Scenario::run() {
   ran_ = true;
 
   build_nodes();
+  apply_topology();
   start_round_timers();
   start_senders();
   start_sampler();

@@ -71,7 +71,20 @@ struct ScenarioParams {
   bool partial_view = false;
   membership::PartialViewParams view_params;
 
+  /// Latency/loss models and the WAN cluster topology (network.clusters,
+  /// network.wan_latency) live here — the cluster rule is evaluated per
+  /// send inside sim::SimNetwork, not materialised per pair.
   sim::NetworkParams network;
+
+  /// Per-link latency overrides, applied symmetrically on top of the
+  /// cluster topology (so single links can be special-cased).
+  struct LinkLatency {
+    NodeId a = 0;
+    NodeId b = 0;
+    sim::LatencyModel model;
+  };
+  std::vector<LinkLatency> link_latencies;
+
   std::uint64_t seed = 1;
 
   DurationMs warmup = 30'000;    // excluded from metrics
@@ -148,6 +161,7 @@ class Scenario {
   struct SenderState;
 
   void build_nodes();
+  void apply_topology();
   void start_round_timers();
   void start_senders();
   void start_sampler();

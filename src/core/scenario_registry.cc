@@ -1,0 +1,418 @@
+#include "core/scenario_registry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace agb::core {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, sep)) out.push_back(item);
+  return out;
+}
+
+[[noreturn]] void die_bad_spec(const char* key, const std::string& spec) {
+  throw std::invalid_argument(std::string("bad ") + key + " spec '" + spec +
+                              "'");
+}
+
+/// The calibrated paper60 configuration: 60 nodes, fanout 4, 2 s gossip
+/// period — the period at which this substrate's capacity knee lands at the
+/// paper's buffer-size axis (~120 events at 30 msg/s; see EXPERIMENTS.md).
+ScenarioParams paper60_defaults(const Config& cfg) {
+  ScenarioParams p;
+  p.n = 60;
+  p.senders = 4;
+  p.offered_rate = 30.0;
+  p.payload_size = 16;
+  p.seed = 42;
+
+  p.gossip.fanout = 4;
+  p.gossip.gossip_period = 2000;
+  p.gossip.max_events = 120;
+  p.gossip.max_event_ids = 4000;
+  p.gossip.max_age = 12;
+
+  p.adaptation.critical_age = kPaper60CriticalAge;
+
+  const bool quick = cfg.get_bool("quick", false);
+  p.warmup = (quick ? 20 : 40) * 1000;
+  p.duration = (quick ? 60 : 150) * 1000;
+  p.cooldown = 30'000;
+  return p;
+}
+
+ScenarioParams build_paper60(const Config& cfg) {
+  return params_from_config(cfg, paper60_defaults(cfg));
+}
+
+ScenarioParams build_fig2(const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  p.gossip.max_events = 60;  // static, constrained: degradation is visible
+  return params_from_config(cfg, p);
+}
+
+ScenarioParams build_fig9(const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  // Start just under the 90-slot capacity knee (~41 msg/s here) so the
+  // shrink bites; recover slightly faster than the paper's gamma=0.1 so the
+  // 450 s window shows both phases.
+  p.offered_rate = 36.0;
+  p.gossip.max_events = 90;
+  p.adaptation.increase_probability = 0.2;
+  p.duration = 450'000;
+  p.series_bucket = 10'000;
+  p = params_from_config(cfg, p);
+  if (!cfg.raw("capacity")) {
+    // 20 % of the nodes shrink 90 -> 45 at t1, then recover to 60 at t2
+    // (still under what the load needs). Times are relative to the start of
+    // the evaluation window.
+    const TimeMs t1 = cfg.get_int("t1_s", 150) * 1000;
+    const TimeMs t2 = cfg.get_int("t2_s", 300) * 1000;
+    const double fraction = cfg.get_double("fraction", 0.2);
+    const auto buf1 = static_cast<std::size_t>(cfg.get_int("buf1", 45));
+    const auto buf2 = static_cast<std::size_t>(cfg.get_int("buf2", 60));
+    p.capacity_schedule = {
+        {p.warmup + t1, fraction, buf1},
+        {p.warmup + t2, fraction, buf2},
+    };
+  }
+  return p;
+}
+
+ScenarioParams build_churn(const Config& cfg) {
+  auto p = params_from_config(cfg, paper60_defaults(cfg));
+  if (!cfg.raw("failures")) {
+    // A rolling wave of crash/recover: every churn_every_s another member
+    // goes down for churn_down_s, starting once the warm-up completes. The
+    // node walk (stride 7) spreads failures over the id space, senders
+    // included.
+    const DurationMs every = cfg.get_int("churn_every_s", 20) * 1000;
+    const DurationMs down_for = cfg.get_int("churn_down_s", 15) * 1000;
+    const auto count =
+        static_cast<std::size_t>(cfg.get_int("churn_count", 8));
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto node = static_cast<NodeId>((3 + 7 * i) % p.n);
+      const TimeMs at = p.warmup + static_cast<TimeMs>(i) * every;
+      p.failure_schedule.push_back({at, node, /*up=*/false});
+      p.failure_schedule.push_back({at + down_for, node, /*up=*/true});
+    }
+  }
+  return p;
+}
+
+ScenarioParams build_burst_loss(const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  // ~20 % average loss arriving in bursts — the correlated-loss regime the
+  // paper singles out as the hard case for gossip — with pull-based repair
+  // on so the retrieval phase earns its keep.
+  p.network.loss = sim::LossModel::burst(0.02, 0.9, 0.05, 0.2);
+  p.gossip.recovery.enabled = true;
+  return params_from_config(cfg, p);
+}
+
+ScenarioParams build_wan_clusters(const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  // Three LAN islands; cross-cluster links are an order of magnitude
+  // slower (the directional-gossip setting of paper §5).
+  p.network.clusters = 3;
+  p.network.wan_latency = sim::LatencyModel::uniform(20.0, 60.0);
+  return params_from_config(cfg, p);
+}
+
+ScenarioParams build_semantic_streams(const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  // Supersede-heavy workload under buffer pressure: each sender's stream
+  // obsoletes its own history often, and semantic purging reclaims the
+  // space from superseded events first.
+  p.supersede_probability = 0.35;
+  p.gossip.semantic_purge = true;
+  p.gossip.max_events = 60;
+  return params_from_config(cfg, p);
+}
+
+}  // namespace
+
+bool parse_latency_spec(const std::string& spec, sim::LatencyModel* out) {
+  auto parts = split(spec, ':');
+  if (parts.empty()) return false;
+  try {
+    if (parts[0] == "fixed" && parts.size() == 2) {
+      *out = sim::LatencyModel::fixed(std::stod(parts[1]));
+      return true;
+    }
+    if (parts[0] == "uniform" && parts.size() == 3) {
+      *out = sim::LatencyModel::uniform(std::stod(parts[1]),
+                                        std::stod(parts[2]));
+      return true;
+    }
+    if (parts[0] == "normal" && parts.size() == 3) {
+      *out = sim::LatencyModel::normal(std::stod(parts[1]),
+                                       std::stod(parts[2]));
+      return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool parse_loss_spec(const std::string& spec, sim::LossModel* out) {
+  auto parts = split(spec, ':');
+  try {
+    if (parts.size() == 1 && !parts[0].empty()) {
+      *out = sim::LossModel::iid(std::stod(parts[0]));
+      return true;
+    }
+    if (parts.size() == 5 && parts[0] == "burst") {
+      *out = sim::LossModel::burst(std::stod(parts[1]), std::stod(parts[2]),
+                                   std::stod(parts[3]), std::stod(parts[4]));
+      return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool parse_capacity_spec(const std::string& spec,
+                         std::vector<CapacityChange>* out) {
+  std::vector<CapacityChange> parsed;
+  for (const auto& item : split(spec, ',')) {
+    auto fields = split(item, ':');
+    if (fields.size() != 3) return false;
+    try {
+      parsed.push_back(CapacityChange{
+          std::stoll(fields[0]), std::stod(fields[1]),
+          static_cast<std::size_t>(std::stoul(fields[2]))});
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+bool parse_failure_spec(const std::string& spec,
+                        std::vector<FailureEvent>* out) {
+  std::vector<FailureEvent> parsed;
+  for (const auto& item : split(spec, ',')) {
+    auto fields = split(item, ':');
+    if (fields.size() != 3 || (fields[2] != "up" && fields[2] != "down")) {
+      return false;
+    }
+    try {
+      parsed.push_back(FailureEvent{
+          std::stoll(fields[0]), static_cast<NodeId>(std::stoul(fields[1])),
+          fields[2] == "up"});
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
+  ScenarioParams p = std::move(base);
+
+  p.n = static_cast<std::size_t>(
+      cfg.get_int("n", static_cast<std::int64_t>(p.n)));
+  p.senders = static_cast<std::size_t>(
+      cfg.get_int("senders", static_cast<std::int64_t>(p.senders)));
+  p.offered_rate = cfg.get_double("rate", p.offered_rate);
+  p.poisson_arrivals = cfg.get_bool("poisson", p.poisson_arrivals);
+  p.payload_size = static_cast<std::size_t>(
+      cfg.get_int("payload", static_cast<std::int64_t>(p.payload_size)));
+  p.supersede_probability =
+      cfg.get_double("supersede", p.supersede_probability);
+  p.adaptive = cfg.get_bool("adaptive", p.adaptive);
+  p.pending_cap = static_cast<std::size_t>(
+      cfg.get_int("pending_cap", static_cast<std::int64_t>(p.pending_cap)));
+  p.seed = static_cast<std::uint64_t>(
+      cfg.get_int("seed", static_cast<std::int64_t>(p.seed)));
+
+  p.gossip.fanout = static_cast<std::size_t>(
+      cfg.get_int("fanout", static_cast<std::int64_t>(p.gossip.fanout)));
+  p.gossip.gossip_period = cfg.get_int("period_ms", p.gossip.gossip_period);
+  p.gossip.max_events = static_cast<std::size_t>(cfg.get_int(
+      "buffer", static_cast<std::int64_t>(p.gossip.max_events)));
+  p.gossip.max_event_ids = static_cast<std::size_t>(cfg.get_int(
+      "event_ids", static_cast<std::int64_t>(p.gossip.max_event_ids)));
+  p.gossip.max_age =
+      static_cast<std::uint32_t>(cfg.get_int("max_age", p.gossip.max_age));
+  p.gossip.semantic_purge =
+      cfg.get_bool("semantic_purge", p.gossip.semantic_purge);
+
+  auto& recovery = p.gossip.recovery;
+  recovery.enabled = cfg.get_bool("recovery", recovery.enabled);
+  recovery.repair_after_rounds = static_cast<Round>(cfg.get_int(
+      "repair_after", static_cast<std::int64_t>(recovery.repair_after_rounds)));
+  recovery.give_up_after_rounds = static_cast<Round>(cfg.get_int(
+      "give_up_after",
+      static_cast<std::int64_t>(recovery.give_up_after_rounds)));
+  recovery.retrieve_rounds = static_cast<Round>(cfg.get_int(
+      "retrieve_rounds", static_cast<std::int64_t>(recovery.retrieve_rounds)));
+
+  // Adaptation knobs whose defaults derive from other parameters: the
+  // sample period tracks the gossip period, the marks bracket the critical
+  // age, and each sender starts at its fair share of the offered load.
+  // Derivation only replaces a *stock* base value — a preset or embedder
+  // that set one of these explicitly keeps it (cfg keys still win over
+  // everything).
+  const adaptive::AdaptiveParams stock;
+  auto& a = p.adaptation;
+  a.sample_period = cfg.get_int(
+      "tau_ms", a.sample_period != stock.sample_period
+                    ? a.sample_period
+                    : 2 * p.gossip.gossip_period);
+  a.min_buff_window = static_cast<std::size_t>(cfg.get_int(
+      "window", static_cast<std::int64_t>(a.min_buff_window)));
+  a.alpha = cfg.get_double("alpha", a.alpha);
+  a.critical_age = cfg.get_double("critical_age", a.critical_age);
+  a.low_age_mark = cfg.get_double(
+      "low_mark", a.low_age_mark != stock.low_age_mark
+                      ? a.low_age_mark
+                      : a.critical_age - 0.5);
+  a.high_age_mark = cfg.get_double(
+      "high_mark", a.high_age_mark != stock.high_age_mark
+                       ? a.high_age_mark
+                       : a.critical_age + 0.5);
+  a.decrease_factor = cfg.get_double("delta_d", a.decrease_factor);
+  a.increase_factor = cfg.get_double("delta_i", a.increase_factor);
+  a.increase_probability = cfg.get_double("gamma", a.increase_probability);
+  a.bucket_capacity = cfg.get_double("bucket", a.bucket_capacity);
+  a.initial_rate = cfg.get_double(
+      "initial_rate", a.initial_rate != stock.initial_rate
+                          ? a.initial_rate
+                          : p.offered_rate / static_cast<double>(p.senders));
+  a.robust_k = static_cast<std::size_t>(
+      cfg.get_int("robust_k", static_cast<std::int64_t>(a.robust_k)));
+  a.robust_floor =
+      static_cast<std::uint32_t>(cfg.get_int("robust_floor", a.robust_floor));
+  a.idle_age_boost = cfg.get_bool("idle_age_boost", a.idle_age_boost);
+
+  p.partial_view = cfg.get_bool("partial_view", p.partial_view);
+  p.view_params.max_view = static_cast<std::size_t>(cfg.get_int(
+      "view_max", static_cast<std::int64_t>(p.view_params.max_view)));
+  p.view_params.max_subs = static_cast<std::size_t>(cfg.get_int(
+      "view_subs", static_cast<std::int64_t>(p.view_params.max_subs)));
+  p.view_params.max_unsubs = static_cast<std::size_t>(cfg.get_int(
+      "view_unsubs", static_cast<std::int64_t>(p.view_params.max_unsubs)));
+
+  // Second-granularity keys replace the base value only when present, so a
+  // base carrying sub-second values is never silently truncated.
+  if (cfg.raw("warmup_s")) p.warmup = cfg.get_int("warmup_s", 0) * 1000;
+  if (cfg.raw("duration_s")) p.duration = cfg.get_int("duration_s", 0) * 1000;
+  if (cfg.raw("cooldown_s")) p.cooldown = cfg.get_int("cooldown_s", 0) * 1000;
+  if (cfg.raw("bucket_s")) p.series_bucket = cfg.get_int("bucket_s", 0) * 1000;
+
+  p.network.clusters = static_cast<std::size_t>(cfg.get_int(
+      "clusters", static_cast<std::int64_t>(p.network.clusters)));
+  if (auto spec = cfg.raw("latency")) {
+    if (!parse_latency_spec(*spec, &p.network.latency)) {
+      die_bad_spec("latency", *spec);
+    }
+  }
+  if (auto spec = cfg.raw("wan_latency")) {
+    if (!parse_latency_spec(*spec, &p.network.wan_latency)) {
+      die_bad_spec("wan_latency", *spec);
+    }
+  }
+  if (auto spec = cfg.raw("loss")) {
+    if (!parse_loss_spec(*spec, &p.network.loss)) {
+      die_bad_spec("loss", *spec);
+    }
+  }
+  if (auto spec = cfg.raw("capacity")) {
+    if (!parse_capacity_spec(*spec, &p.capacity_schedule)) {
+      die_bad_spec("capacity", *spec);
+    }
+  }
+  if (auto spec = cfg.raw("failures")) {
+    if (!parse_failure_spec(*spec, &p.failure_schedule)) {
+      die_bad_spec("failures", *spec);
+    }
+  }
+  return p;
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+ScenarioRegistry::ScenarioRegistry() {
+  add({"paper60", "calibrated 60-node LAN baseline (fanout 4, T=2s)",
+       build_paper60});
+  add({"fig2", "reliability degradation vs input rate (static 60-buffer)",
+       build_fig2});
+  add({"fig4", "maximum input rate vs buffer size (capacity search base)",
+       build_paper60});
+  add({"fig6", "ideal vs adaptive rates under shrinking buffers",
+       build_paper60});
+  add({"fig7", "input/output rates and drop ages, lpbcast vs adaptive",
+       build_paper60});
+  add({"fig8", "reliability (receivers & atomicity), lpbcast vs adaptive",
+       build_paper60});
+  add({"fig9", "dynamic buffers: 20% of nodes 90 -> 45 -> 60 under load",
+       build_fig9});
+  add({"churn", "rolling crash/recover wave across the group", build_churn});
+  add({"burst-loss", "Gilbert-Elliott bursty loss (~20%) with pull repair",
+       build_burst_loss});
+  add({"wan-clusters", "three LAN islands joined by 20-60 ms WAN links",
+       build_wan_clusters});
+  add({"semantic-streams", "supersede-heavy streams with semantic purging",
+       build_semantic_streams});
+}
+
+void ScenarioRegistry::add(ScenarioPreset preset) {
+  for (auto& existing : presets_) {
+    if (existing.name == preset.name) {
+      existing = std::move(preset);
+      return;
+    }
+  }
+  presets_.push_back(std::move(preset));
+}
+
+const ScenarioPreset* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& preset : presets_) {
+    if (preset.name == name) return &preset;
+  }
+  return nullptr;
+}
+
+ScenarioParams ScenarioRegistry::build(std::string_view name,
+                                       const Config& cfg) const {
+  const ScenarioPreset* preset = find(name);
+  if (preset == nullptr) {
+    std::string message = "unknown scenario preset '";
+    message.append(name);
+    message += "'; known:";
+    for (const auto* known : presets()) {
+      message += ' ';
+      message += known->name;
+    }
+    throw std::invalid_argument(message);
+  }
+  return preset->build(cfg);
+}
+
+std::vector<const ScenarioPreset*> ScenarioRegistry::presets() const {
+  std::vector<const ScenarioPreset*> out;
+  out.reserve(presets_.size());
+  for (const auto& preset : presets_) out.push_back(&preset);
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioPreset* a, const ScenarioPreset* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+}  // namespace agb::core

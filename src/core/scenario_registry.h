@@ -1,0 +1,101 @@
+// Named scenario presets: the single source of every experiment
+// configuration in the repo.
+//
+// Each preset is a named, documented recipe that turns key=value overrides
+// (common::Config) into a full core::ScenarioParams. The figure benches,
+// tools/agb_sim and downstream embedders all build their parameters here,
+// so adding a workload is a registry entry — not a new binary. Defaults
+// layer in a fixed order: calibrated paper60 base < preset-specific
+// defaults < user key=value overrides.
+//
+// Built-in presets (see scenario_registry.cc for the parameter details):
+//   paper60          — the calibrated 60-node LAN baseline
+//   fig2             — reliability degradation (static, small buffer)
+//   fig4             — maximum input rate vs buffer size
+//   fig6             — ideal vs adaptive rates
+//   fig7             — rates and drop ages, lpbcast vs adaptive
+//   fig8             — reliability, lpbcast vs adaptive
+//   fig9             — dynamic buffer sizes (capacity schedule)
+//   churn            — rolling crash/recover of group members
+//   burst-loss       — Gilbert-Elliott bursty loss + pull repair
+//   wan-clusters     — three LAN islands joined by slow WAN links
+//   semantic-streams — supersede-heavy streams with semantic purging
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/config.h"
+#include "core/scenario.h"
+
+namespace agb::core {
+
+/// The calibrated critical age a_r (hops) of the paper60 configuration
+/// under the bimodal-atomicity criterion the adaptive marks target.
+/// Regenerate with bench/fig4_max_rate (see EXPERIMENTS.md).
+inline constexpr double kPaper60CriticalAge = 8.0;
+
+struct ScenarioPreset {
+  std::string name;
+  std::string summary;  // one line, shown by `agb_sim list=1`
+  std::function<ScenarioParams(const Config&)> build;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in presets.
+  static ScenarioRegistry& instance();
+
+  ScenarioRegistry();
+
+  /// Adds (or replaces, by name) a preset.
+  void add(ScenarioPreset preset);
+
+  [[nodiscard]] const ScenarioPreset* find(std::string_view name) const;
+
+  /// Builds `name` with `cfg` overrides. Throws std::invalid_argument
+  /// (listing the known presets) for an unknown name, and propagates the
+  /// std::invalid_argument thrown for malformed spec values; tools catch
+  /// and translate to exit codes, embedders handle it like any input
+  /// error.
+  [[nodiscard]] ScenarioParams build(std::string_view name,
+                                     const Config& cfg) const;
+
+  /// All presets, sorted by name.
+  [[nodiscard]] std::vector<const ScenarioPreset*> presets() const;
+
+ private:
+  std::vector<ScenarioPreset> presets_;
+};
+
+/// Applies the shared key=value vocabulary on top of `base`: every key's
+/// fallback is the value already in `base`, so presets seed defaults and
+/// user overrides always win. Four adaptation knobs (tau_ms, low_mark,
+/// high_mark, initial_rate) derive their fallback from other parameters
+/// when the base still holds the stock AdaptiveParams default — a base
+/// that set them explicitly to a *non-stock* value keeps it (a base value
+/// equal to the stock default is indistinguishable from "untouched" and
+/// gets the derived fallback; pass the cfg key to pin it exactly).
+/// Throws std::invalid_argument on malformed spec values — pre-validate
+/// untrusted input with the parse_*_spec helpers below if termination of
+/// the calling flow is unacceptable. Understands the full parameter space —
+/// group/load/gossip/adaptation/recovery keys plus the spec-valued ones:
+///   latency=fixed:ms|uniform:lo:hi|normal:mean:stddev
+///   wan_latency=<same grammar>
+///   loss=p|burst:pgood:pbad:pgb:pbg
+///   capacity=at_ms:frac:cap[,...]
+///   failures=at_ms:node:up|down[,...]
+ScenarioParams params_from_config(const Config& cfg, ScenarioParams base);
+
+/// Spec-string parsers, exposed for tools and tests. Return false on
+/// malformed input and leave `out` untouched.
+bool parse_latency_spec(const std::string& spec, sim::LatencyModel* out);
+bool parse_loss_spec(const std::string& spec, sim::LossModel* out);
+bool parse_capacity_spec(const std::string& spec,
+                         std::vector<CapacityChange>* out);
+bool parse_failure_spec(const std::string& spec,
+                        std::vector<FailureEvent>* out);
+
+}  // namespace agb::core

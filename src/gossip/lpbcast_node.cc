@@ -173,7 +173,7 @@ void LpbcastNode::emit_repair_requests() {
     request.sender = self_;
     request.ids = std::move(ids);
     ++counters_.repair_requests;
-    outbox_.push_back(ControlDatagram{peer, request.encode()});
+    outbox_.push_back(ControlDatagram{peer, request.encode_shared()});
   }
 }
 
@@ -220,7 +220,7 @@ void LpbcastNode::on_repair_request(const RepairRequest& request,
   }
   if (reply.events.empty()) return;
   ++counters_.repair_replies;
-  outbox_.push_back(ControlDatagram{request.sender, reply.encode()});
+  outbox_.push_back(ControlDatagram{request.sender, reply.encode_shared()});
 }
 
 void LpbcastNode::on_repair_reply(const RepairReply& reply, TimeMs now) {

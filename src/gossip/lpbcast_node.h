@@ -116,9 +116,10 @@ class LpbcastNode {
   /// Directed control traffic (repair requests/replies) produced by the
   /// last on_round/on_gossip/on_repair_* call. Drivers must drain this
   /// after every protocol call and transmit each datagram to its target.
+  /// Payloads are pre-encoded SharedBytes, ready to drop into a Datagram.
   struct ControlDatagram {
     NodeId target;
-    std::vector<std::uint8_t> payload;
+    SharedBytes payload;
   };
   [[nodiscard]] std::vector<ControlDatagram> take_outbox();
 

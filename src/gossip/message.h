@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/shared_bytes.h"
 #include "common/types.h"
 #include "gossip/event.h"
 #include "membership/partial_view.h"
@@ -59,6 +60,9 @@ struct GossipMessage {
   std::vector<EventId> seen_ids;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// encode() wrapped in a SharedBytes — the entry point for drivers that
+  /// fan one encoded message out to several Datagrams without re-copying.
+  [[nodiscard]] SharedBytes encode_shared() const { return encode(); }
   /// Returns std::nullopt on any malformed input (wrong magic/version/type,
   /// truncation, overlong counts). Never throws.
   static std::optional<GossipMessage> decode(
@@ -72,6 +76,7 @@ struct RepairRequest {
   std::vector<EventId> ids;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] SharedBytes encode_shared() const { return encode(); }
   static std::optional<RepairRequest> decode(
       std::span<const std::uint8_t> bytes);
 };
@@ -82,6 +87,7 @@ struct RepairReply {
   std::vector<Event> events;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] SharedBytes encode_shared() const { return encode(); }
   static std::optional<RepairReply> decode(
       std::span<const std::uint8_t> bytes);
 };

@@ -8,7 +8,8 @@ InMemoryFabric::InMemoryFabric(Params params, std::uint64_t seed)
     : params_(params),
       epoch_(std::chrono::steady_clock::now()),
       rng_(seed),
-      dispatcher_([this] { dispatch_loop(); }) {}
+      dispatcher_([this] { dispatch_loop(); }),
+      dispatcher_id_(dispatcher_.get_id()) {}
 
 InMemoryFabric::~InMemoryFabric() { shutdown(); }
 
@@ -24,8 +25,14 @@ void InMemoryFabric::attach(NodeId node, DatagramHandler handler) {
 }
 
 void InMemoryFabric::detach(NodeId node) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   handlers_.erase(node);
+  // Wait out an in-flight delivery to this node: once detach returns, the
+  // caller may free whatever state the handler captured. A handler that
+  // detaches its own node must not wait for itself.
+  if (std::this_thread::get_id() != dispatcher_id_) {
+    idle_cv_.wait(lock, [&] { return in_flight_ != node; });
+  }
 }
 
 void InMemoryFabric::send(Datagram datagram) {
@@ -59,13 +66,22 @@ std::uint64_t InMemoryFabric::dropped() const {
 void InMemoryFabric::shutdown() {
   {
     std::lock_guard lock(mutex_);
-    if (stopping_) {
-      // Already shut down; just make sure the thread is joined.
-    }
     stopping_ = true;
+    // Discard everything still queued: after shutdown() no handler runs
+    // again, so a caller may tear down handler state right away.
+    dropped_ += queue_.size();
+    queue_.clear();
   }
   cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  // A handler may call shutdown() from the dispatcher thread itself (e.g.
+  // reacting to a poison-pill datagram); it cannot join itself — the
+  // destructor, running on another thread, performs the join later.
+  if (std::this_thread::get_id() == dispatcher_id_) return;
+  // Join exactly once even when shutdown() races with itself (e.g. an
+  // explicit call concurrent with the destructor).
+  std::call_once(join_once_, [this] {
+    if (dispatcher_.joinable()) dispatcher_.join();
+  });
 }
 
 void InMemoryFabric::dispatch_loop() {
@@ -86,14 +102,17 @@ void InMemoryFabric::dispatch_loop() {
     queue_.erase(queue_.begin());
     auto it = handlers_.find(datagram.to);
     if (it == handlers_.end()) {
-      ++dropped_;
+      ++dropped_;  // detached (or never attached): discard silently
       continue;
     }
     DatagramHandler handler = it->second;  // copy: handler may detach
     ++delivered_;
+    in_flight_ = datagram.to;
     lock.unlock();
     handler(datagram, now());
     lock.lock();
+    in_flight_ = kInvalidNode;
+    idle_cv_.notify_all();
   }
 }
 

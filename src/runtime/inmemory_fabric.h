@@ -36,7 +36,12 @@ class InMemoryFabric final : public DatagramNetwork {
   InMemoryFabric& operator=(const InMemoryFabric&) = delete;
 
   void attach(NodeId node, DatagramHandler handler) override;
+
+  /// Removes the node and blocks until any in-flight handler call for it
+  /// has returned (unless called from that handler itself), so callers may
+  /// destroy handler state immediately afterwards.
   void detach(NodeId node) override;
+
   void send(Datagram datagram) override;
 
   /// Milliseconds since the fabric was created (the runtime's clock).
@@ -45,8 +50,9 @@ class InMemoryFabric final : public DatagramNetwork {
   [[nodiscard]] std::uint64_t delivered() const;
   [[nodiscard]] std::uint64_t dropped() const;
 
-  /// Stops the dispatcher; queued datagrams are discarded. Called by the
-  /// destructor; safe to call more than once.
+  /// Stops the dispatcher and joins its thread exactly once; queued
+  /// datagrams are discarded without invoking any handler. Called by the
+  /// destructor; safe to call repeatedly and from multiple threads.
   void shutdown();
 
  private:
@@ -57,14 +63,20 @@ class InMemoryFabric final : public DatagramNetwork {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;  // signals end of an in-flight handler
   std::multimap<TimeMs, Datagram> queue_;  // keyed by due time
   std::unordered_map<NodeId, DatagramHandler> handlers_;
   Rng rng_;
   bool stopping_ = false;
+  NodeId in_flight_ = kInvalidNode;  // node whose handler is executing
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 
+  std::once_flag join_once_;
   std::thread dispatcher_;
+  /// Captured at construction: comparing against dispatcher_.get_id() later
+  /// would race with a concurrent join() on the same std::thread object.
+  std::thread::id dispatcher_id_;
 };
 
 }  // namespace agb::runtime

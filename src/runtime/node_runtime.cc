@@ -32,15 +32,12 @@ void NodeRuntime::start() {
 void NodeRuntime::stop() {
   {
     std::lock_guard lock(mutex_);
-    if (!started_ || stopping_.load()) {
-      if (!started_) network_.detach(node_->id());
-      stopping_.store(true);
-    } else {
-      stopping_.store(true);
-    }
+    stopping_.store(true);
   }
   cv_.notify_all();
   if (round_thread_.joinable()) round_thread_.join();
+  // Never under mutex_: InMemoryFabric::detach blocks until any in-flight
+  // delivery returns, and that delivery (on_datagram) needs mutex_.
   network_.detach(node_->id());
 }
 
@@ -53,8 +50,10 @@ void NodeRuntime::round_loop() {
     if (stopping_.load()) return;
     auto out = node_->on_round(clock_());
     auto controls = node_->take_outbox();
-    auto bytes = out.targets.empty() ? std::vector<std::uint8_t>{}
-                                     : out.message.encode();
+    // Encode once; the SharedBytes payload is aliased by every target's
+    // Datagram, so fan-out costs one refcount bump per target.
+    const SharedBytes bytes =
+        out.targets.empty() ? SharedBytes{} : out.message.encode_shared();
     const NodeId self = node_->id();
     lock.unlock();  // never hold the node lock across network calls
     for (NodeId target : out.targets) {

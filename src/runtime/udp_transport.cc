@@ -89,7 +89,8 @@ void UdpTransport::attach(NodeId node, DatagramHandler handler) {
       Datagram datagram;
       datagram.from = from;
       datagram.to = raw->node;
-      datagram.payload.assign(buf.begin() + 4, buf.begin() + got);
+      datagram.payload = SharedBytes::copy_of(
+          {buf.data() + 4, static_cast<std::size_t>(got - 4)});
       raw->handler(datagram, now());
     }
   });
@@ -121,15 +122,23 @@ void UdpTransport::send(Datagram datagram) {
     }
     fd = it->second->fd;
   }
-  std::vector<std::uint8_t> wire(4 + datagram.payload.size());
-  std::memcpy(wire.data(), &datagram.from, 4);
-  std::memcpy(wire.data() + 4, datagram.payload.data(),
-              datagram.payload.size());
+  // Scatter-gather send: the 4-byte sender prefix and the shared payload go
+  // out as one datagram without assembling a contiguous copy, so even the
+  // kernel handoff never duplicates the encoded message.
+  NodeId from = datagram.from;
+  iovec iov[2];
+  iov[0].iov_base = &from;
+  iov[0].iov_len = 4;
+  iov[1].iov_base = const_cast<std::uint8_t*>(datagram.payload.data());
+  iov[1].iov_len = datagram.payload.size();
   auto addr =
       loopback_address(static_cast<std::uint16_t>(base_port_ + datagram.to));
-  const ssize_t sent =
-      ::sendto(fd, wire.data(), wire.size(), 0,
-               reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  msghdr msg{};
+  msg.msg_name = &addr;
+  msg.msg_namelen = sizeof(addr);
+  msg.msg_iov = iov;
+  msg.msg_iovlen = datagram.payload.empty() ? 1 : 2;
+  const ssize_t sent = ::sendmsg(fd, &msg, 0);
   if (sent < 0) send_failures_.fetch_add(1);
 }
 

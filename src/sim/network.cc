@@ -73,7 +73,12 @@ void SimNetwork::send(Datagram datagram) {
     ++stats_.dropped_loss;
     return;
   }
+  // Latency selection: explicit per-link override > cluster rule > default.
   const LatencyModel* latency = &params_.latency;
+  if (params_.clusters > 1 &&
+      datagram.from % params_.clusters != datagram.to % params_.clusters) {
+    latency = &params_.wan_latency;
+  }
   if (!link_latency_.empty()) {
     auto it = link_latency_.find(ordered(datagram.from, datagram.to));
     if (it != link_latency_.end()) latency = &it->second;

@@ -75,6 +75,14 @@ struct LossModel {
 struct NetworkParams {
   LatencyModel latency = LatencyModel::fixed(1.0);
   LossModel loss = LossModel::none();
+
+  /// WAN topology (the setting of directional gossip, paper §5): when
+  /// clusters > 1, node i belongs to cluster i % clusters and every link
+  /// crossing a cluster boundary samples `wan_latency` instead of
+  /// `latency` (which keeps modelling the intra-cluster LAN hop). A plain
+  /// membership rule, not a per-pair table — O(1) per send at any n.
+  std::size_t clusters = 1;
+  LatencyModel wan_latency = LatencyModel::uniform(20.0, 60.0);
 };
 
 /// Counters exposed for tests and benches.

@@ -60,7 +60,7 @@ struct Cluster {
         sim, phase, kRound, [this, raw = node.get()](TimeMs now) {
           auto out = raw->on_round(now);
           if (out.targets.empty()) return;
-          auto bytes = out.message.encode();
+          const SharedBytes bytes = out.message.encode_shared();
           for (NodeId target : out.targets) {
             net.send(Datagram{raw->id(), target, bytes});
           }

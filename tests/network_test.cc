@@ -63,7 +63,7 @@ TEST(SimNetworkTest, DeliversAfterLatency) {
 
 TEST(SimNetworkTest, PayloadIntegrity) {
   Fixture f;
-  std::vector<std::uint8_t> got;
+  SharedBytes got;
   f.net.attach(2, [&](const Datagram& d, TimeMs) { got = d.payload; });
   f.net.send(Datagram{1, 2, {9, 8, 7}});
   f.sim.run();
@@ -216,6 +216,35 @@ TEST(SimNetworkTest, LinkLatencyOverridesDefault) {
   ASSERT_EQ(f.received.size(), 2u);
   EXPECT_EQ(f.received[0].second, 1);
   EXPECT_EQ(f.received[1].second, 50);
+}
+
+TEST(SimNetworkTest, ClusterRuleSelectsWanLatency) {
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(1.0);
+  params.clusters = 3;
+  params.wan_latency = LatencyModel::fixed(40.0);
+  Fixture f(params);
+  f.attach(3);  // cluster 0, same as node 0
+  f.attach(4);  // cluster 1
+  f.net.send(Datagram{0, 3, {}});  // intra-cluster: LAN latency
+  f.net.send(Datagram{0, 4, {}});  // cross-cluster: WAN latency
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 2u);
+  EXPECT_EQ(f.received[0], (std::pair<NodeId, TimeMs>{3, 1}));
+  EXPECT_EQ(f.received[1], (std::pair<NodeId, TimeMs>{4, 40}));
+}
+
+TEST(SimNetworkTest, LinkOverrideBeatsClusterRule) {
+  NetworkParams params;
+  params.clusters = 2;
+  params.wan_latency = LatencyModel::fixed(40.0);
+  Fixture f(params);
+  f.attach(1);
+  f.net.set_link_latency(0, 1, LatencyModel::fixed(7.0));
+  f.net.send(Datagram{0, 1, {}});  // cross-cluster, but overridden
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);
+  EXPECT_EQ(f.received[0].second, 7);
 }
 
 TEST(SimNetworkTest, ClearLinkLatenciesReverts) {

@@ -64,6 +64,74 @@ TEST(InMemoryFabricTest, ShutdownIsIdempotentAndStopsDelivery) {
   fabric.send(Datagram{0, 1, {1}});  // discarded, no crash
 }
 
+TEST(InMemoryFabricTest, ConcurrentShutdownJoinsExactlyOnce) {
+  InMemoryFabric fabric({});
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] { fabric.shutdown(); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(InMemoryFabricTest, ShutdownDiscardsQueuedDatagramsWithoutDelivery) {
+  InMemoryFabric::Params params;
+  // Deliveries scheduled far beyond any plausible scheduler stall, so
+  // shutdown() always discards them before they come due.
+  params.min_delay = 10'000;
+  params.max_delay = 10'000;
+  InMemoryFabric fabric(params);
+  std::atomic<int> received{0};
+  fabric.attach(1, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  for (int i = 0; i < 50; ++i) fabric.send(Datagram{0, 1, {1}});
+  fabric.shutdown();
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(fabric.dropped(), 50u);
+}
+
+TEST(InMemoryFabricTest, ShutdownFromHandlerDoesNotDeadlock) {
+  // A handler may react to a poison-pill datagram by shutting the fabric
+  // down; that runs shutdown() on the dispatcher thread itself, which must
+  // neither join itself nor deadlock. The destructor joins afterwards.
+  auto fabric = std::make_unique<InMemoryFabric>(InMemoryFabric::Params{});
+  std::atomic<bool> poisoned{false};
+  fabric->attach(1, [&](const Datagram&, TimeMs) {
+    fabric->shutdown();
+    poisoned.store(true);
+  });
+  fabric->send(Datagram{0, 1, {0xff}});
+  ASSERT_TRUE(eventually([&] { return poisoned.load(); }));
+  fabric.reset();  // joins the dispatcher thread
+}
+
+TEST(InMemoryFabricTest, DetachWaitsOutInFlightHandler) {
+  // (see also NodeRuntimeTest.StopUnderIncomingTrafficDoesNotDeadlock,
+  // which guards the lock ordering this blocking detach imposes on
+  // callers)
+  // After detach() returns, the handler (and anything it captured) must
+  // never run again — the guard against handler use-after-free. The
+  // handler blocks mid-delivery; detach must wait for it.
+  InMemoryFabric fabric({});
+  std::atomic<bool> in_handler{false};
+  std::atomic<bool> release{false};
+  auto state = std::make_unique<std::atomic<int>>(0);
+  fabric.attach(1, [&, raw = state.get()](const Datagram&, TimeMs) {
+    in_handler.store(true);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    raw->fetch_add(1);
+  });
+  fabric.send(Datagram{0, 1, {1}});
+  ASSERT_TRUE(eventually([&] { return in_handler.load(); }));
+
+  std::thread detacher([&] { fabric.detach(1); });
+  std::this_thread::sleep_for(20ms);
+  release.store(true);  // let the in-flight delivery finish
+  detacher.join();
+  state.reset();  // safe: no handler can reference it anymore
+  fabric.send(Datagram{0, 1, {1}});  // dropped, handler gone
+  EXPECT_TRUE(eventually([&] { return fabric.dropped() >= 1; }));
+}
+
 TEST(InMemoryFabricTest, ClockIsMonotone) {
   InMemoryFabric fabric({});
   const TimeMs a = fabric.now();
@@ -174,6 +242,23 @@ TEST(NodeRuntimeTest, StopIsIdempotent) {
   runtime.start();
   runtime.stop();
   runtime.stop();
+}
+
+TEST(NodeRuntimeTest, StopUnderIncomingTrafficDoesNotDeadlock) {
+  // InMemoryFabric::detach blocks until an in-flight delivery returns, and
+  // that delivery (on_datagram) takes the runtime mutex — so stop() must
+  // never detach while holding it. Regression: tearing a runtime down
+  // (started or not) while peers are spraying datagrams at it used to be
+  // able to deadlock.
+  InMemoryFabric fabric({});
+  for (int round = 0; round < 10; ++round) {
+    auto runtime = std::make_unique<NodeRuntime>(
+        make_protocol_node(1, 2, false), fabric,
+        [&fabric] { return fabric.now(); });
+    if (round % 2 == 0) runtime->start();
+    for (int i = 0; i < 50; ++i) fabric.send(Datagram{0, 1, {0x01}});
+    runtime->stop();
+  }
 }
 
 TEST(NodeRuntimeTest, SetCapacityWhileRunning) {

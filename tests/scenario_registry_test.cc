@@ -1,0 +1,223 @@
+// The scenario registry: preset lookup, default layering (preset defaults
+// lose to user key=value overrides), spec parsing, and the topology presets
+// actually shaping the simulated network.
+#include "core/scenario_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace agb::core {
+namespace {
+
+Config config_of(std::initializer_list<const char*> pairs) {
+  Config cfg;
+  std::string error;
+  for (const char* pair : pairs) {
+    EXPECT_TRUE(cfg.parse_pair(pair, &error)) << error;
+  }
+  return cfg;
+}
+
+TEST(ScenarioRegistryTest, ShipsTheDocumentedPresets) {
+  auto& registry = ScenarioRegistry::instance();
+  for (const char* name :
+       {"paper60", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "churn",
+        "burst-loss", "wan-clusters", "semantic-streams"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_GE(registry.presets().size(), 11u);
+  EXPECT_EQ(registry.find("no-such-preset"), nullptr);
+  EXPECT_THROW((void)registry.build("no-such-preset", Config{}),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, MalformedSpecValuesThrow) {
+  auto cfg = config_of({"latency=bogus:1"});
+  EXPECT_THROW((void)ScenarioRegistry::instance().build("paper60", cfg),
+               std::invalid_argument);
+  auto loss_cfg = config_of({"loss=burst:0.1"});
+  EXPECT_THROW((void)ScenarioRegistry::instance().build("paper60", loss_cfg),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, Paper60CarriesTheCalibratedDefaults) {
+  auto p = ScenarioRegistry::instance().build("paper60", Config{});
+  EXPECT_EQ(p.n, 60u);
+  EXPECT_EQ(p.senders, 4u);
+  EXPECT_DOUBLE_EQ(p.offered_rate, 30.0);
+  EXPECT_EQ(p.gossip.fanout, 4u);
+  EXPECT_EQ(p.gossip.gossip_period, 2000);
+  EXPECT_EQ(p.gossip.max_events, 120u);
+  EXPECT_DOUBLE_EQ(p.adaptation.critical_age, kPaper60CriticalAge);
+  EXPECT_EQ(p.adaptation.sample_period, 4000);  // 2 * period, derived
+  EXPECT_DOUBLE_EQ(p.adaptation.initial_rate, 7.5);  // rate / senders
+}
+
+TEST(ScenarioRegistryTest, UserOverridesBeatPresetDefaults) {
+  auto cfg = config_of({"n=100", "rate=44", "buffer=80", "period_ms=1000"});
+  auto p = ScenarioRegistry::instance().build("fig2", cfg);
+  EXPECT_EQ(p.n, 100u);
+  EXPECT_DOUBLE_EQ(p.offered_rate, 44.0);
+  EXPECT_EQ(p.gossip.max_events, 80u);    // beats fig2's 60 default
+  EXPECT_EQ(p.adaptation.sample_period, 2000);  // follows the new period
+  EXPECT_DOUBLE_EQ(p.adaptation.initial_rate, 11.0);
+}
+
+TEST(ScenarioRegistryTest, Fig2DefaultsToTheConstrainedBuffer) {
+  auto p = ScenarioRegistry::instance().build("fig2", Config{});
+  EXPECT_EQ(p.gossip.max_events, 60u);
+}
+
+TEST(ScenarioRegistryTest, Fig9BuildsTheTwoStepCapacitySchedule) {
+  auto p = ScenarioRegistry::instance().build("fig9", Config{});
+  ASSERT_EQ(p.capacity_schedule.size(), 2u);
+  EXPECT_EQ(p.capacity_schedule[0].at, p.warmup + 150'000);
+  EXPECT_EQ(p.capacity_schedule[0].new_capacity, 45u);
+  EXPECT_EQ(p.capacity_schedule[1].at, p.warmup + 300'000);
+  EXPECT_EQ(p.capacity_schedule[1].new_capacity, 60u);
+  EXPECT_EQ(p.gossip.max_events, 90u);
+  EXPECT_DOUBLE_EQ(p.offered_rate, 36.0);
+  // initial_rate follows the preset's offered load, not paper60's.
+  EXPECT_DOUBLE_EQ(p.adaptation.initial_rate, 9.0);
+}
+
+TEST(ScenarioRegistryTest, ChurnSchedulesDownUpPairs) {
+  auto p = ScenarioRegistry::instance().build("churn", Config{});
+  ASSERT_EQ(p.failure_schedule.size(), 16u);  // 8 nodes, down + up each
+  std::set<NodeId> churned;
+  for (std::size_t i = 0; i < p.failure_schedule.size(); i += 2) {
+    const auto& down = p.failure_schedule[i];
+    const auto& up = p.failure_schedule[i + 1];
+    EXPECT_FALSE(down.up);
+    EXPECT_TRUE(up.up);
+    EXPECT_EQ(down.node, up.node);
+    EXPECT_EQ(up.at - down.at, 15'000);
+    churned.insert(down.node);
+  }
+  EXPECT_EQ(churned.size(), 8u);  // distinct nodes
+}
+
+TEST(ScenarioRegistryTest, BurstLossEnablesRepairAndBurstChain) {
+  auto p = ScenarioRegistry::instance().build("burst-loss", Config{});
+  EXPECT_EQ(p.network.loss.kind, sim::LossModel::Kind::kBurst);
+  EXPECT_TRUE(p.gossip.recovery.enabled);
+  // Overrides still win.
+  auto cfg = config_of({"recovery=0", "loss=0.1"});
+  auto q = ScenarioRegistry::instance().build("burst-loss", cfg);
+  EXPECT_FALSE(q.gossip.recovery.enabled);
+  EXPECT_EQ(q.network.loss.kind, sim::LossModel::Kind::kIid);
+}
+
+TEST(ScenarioRegistryTest, WanClustersSetsTopology) {
+  auto p = ScenarioRegistry::instance().build("wan-clusters", Config{});
+  EXPECT_EQ(p.network.clusters, 3u);
+  EXPECT_EQ(p.network.wan_latency.kind, sim::LatencyModel::Kind::kUniform);
+}
+
+TEST(ScenarioRegistryTest, ExplicitBaseValuesSurviveDerivedFallbacks) {
+  // A base (preset or embedder) that sets a derived-default knob
+  // explicitly must keep it when no cfg key overrides it.
+  ScenarioParams base;
+  base.adaptation.sample_period = 7000;
+  base.adaptation.low_age_mark = 6.0;
+  base.adaptation.high_age_mark = 9.0;
+  base.adaptation.initial_rate = 3.25;
+  auto p = params_from_config(Config{}, base);
+  EXPECT_EQ(p.adaptation.sample_period, 7000);
+  EXPECT_DOUBLE_EQ(p.adaptation.low_age_mark, 6.0);
+  EXPECT_DOUBLE_EQ(p.adaptation.high_age_mark, 9.0);
+  EXPECT_DOUBLE_EQ(p.adaptation.initial_rate, 3.25);
+}
+
+TEST(ScenarioRegistryTest, SemanticStreamsTurnsOnSupersedeWorkload) {
+  auto p = ScenarioRegistry::instance().build("semantic-streams", Config{});
+  EXPECT_GT(p.supersede_probability, 0.0);
+  EXPECT_TRUE(p.gossip.semantic_purge);
+}
+
+TEST(ScenarioRegistryTest, AddReplacesByName) {
+  ScenarioRegistry registry;
+  const auto before = registry.presets().size();
+  registry.add({"paper60", "replaced", [](const Config& cfg) {
+                  return ScenarioRegistry::instance().build("paper60", cfg);
+                }});
+  EXPECT_EQ(registry.presets().size(), before);
+  EXPECT_EQ(registry.find("paper60")->summary, "replaced");
+  registry.add({"custom", "mine", [](const Config& cfg) {
+                  return params_from_config(cfg, ScenarioParams{});
+                }});
+  EXPECT_EQ(registry.presets().size(), before + 1);
+}
+
+TEST(ScenarioRegistryTest, SubSecondBaseTimingSurvives) {
+  ScenarioParams base;
+  base.warmup = 1'500;
+  base.series_bucket = 500;
+  auto p = params_from_config(Config{}, base);
+  EXPECT_EQ(p.warmup, 1'500);       // not truncated to whole seconds
+  EXPECT_EQ(p.series_bucket, 500);  // and never zeroed
+  auto cfg = config_of({"bucket_s=2"});
+  auto q = params_from_config(cfg, base);
+  EXPECT_EQ(q.series_bucket, 2'000);
+}
+
+TEST(SpecParserTest, LatencySpecs) {
+  sim::LatencyModel m;
+  EXPECT_TRUE(parse_latency_spec("fixed:3", &m));
+  EXPECT_EQ(m.kind, sim::LatencyModel::Kind::kFixed);
+  EXPECT_DOUBLE_EQ(m.a, 3.0);
+  EXPECT_TRUE(parse_latency_spec("uniform:1:40", &m));
+  EXPECT_EQ(m.kind, sim::LatencyModel::Kind::kUniform);
+  EXPECT_TRUE(parse_latency_spec("normal:20:5", &m));
+  EXPECT_EQ(m.kind, sim::LatencyModel::Kind::kNormal);
+  EXPECT_FALSE(parse_latency_spec("fixed", &m));
+  EXPECT_FALSE(parse_latency_spec("fixed:x", &m));
+  EXPECT_FALSE(parse_latency_spec("triangular:1:2", &m));
+}
+
+TEST(SpecParserTest, LossSpecs) {
+  sim::LossModel m;
+  EXPECT_TRUE(parse_loss_spec("0.25", &m));
+  EXPECT_EQ(m.kind, sim::LossModel::Kind::kIid);
+  EXPECT_DOUBLE_EQ(m.p, 0.25);
+  EXPECT_TRUE(parse_loss_spec("burst:0.02:0.9:0.05:0.2", &m));
+  EXPECT_EQ(m.kind, sim::LossModel::Kind::kBurst);
+  EXPECT_FALSE(parse_loss_spec("", &m));
+  EXPECT_FALSE(parse_loss_spec("burst:0.1", &m));
+  EXPECT_FALSE(parse_loss_spec("nope", &m));
+}
+
+TEST(SpecParserTest, ScheduleSpecs) {
+  std::vector<CapacityChange> capacity;
+  EXPECT_TRUE(parse_capacity_spec("150000:0.2:45,300000:0.2:60", &capacity));
+  ASSERT_EQ(capacity.size(), 2u);
+  EXPECT_EQ(capacity[1].at, 300000);
+  EXPECT_EQ(capacity[1].new_capacity, 60u);
+  EXPECT_FALSE(parse_capacity_spec("150000:0.2", &capacity));
+
+  std::vector<FailureEvent> failures;
+  EXPECT_TRUE(parse_failure_spec("60000:3:down,120000:3:up", &failures));
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_FALSE(failures[0].up);
+  EXPECT_TRUE(failures[1].up);
+  EXPECT_FALSE(parse_failure_spec("60000:3:sideways", &failures));
+}
+
+TEST(ScenarioTopologyTest, WanClustersRunsAndDeliversAcrossIslands) {
+  // A small end-to-end run through the preset machinery: the WAN topology
+  // must still disseminate to (nearly) everyone, it is just slower.
+  auto cfg = config_of({"n=18", "senders=2", "rate=4", "quick=1",
+                        "warmup_s=5", "duration_s=25", "cooldown_s=15",
+                        "period_ms=1000", "buffer=200", "max_age=24"});
+  auto p = ScenarioRegistry::instance().build("wan-clusters", cfg);
+  ASSERT_EQ(p.network.clusters, 3u);
+  Scenario scenario(p);
+  auto r = scenario.run();
+  EXPECT_GT(r.delivery.messages, 20u);
+  EXPECT_GT(r.delivery.avg_receiver_pct, 95.0);
+}
+
+}  // namespace
+}  // namespace agb::core

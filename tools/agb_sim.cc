@@ -1,109 +1,45 @@
 // agb_sim — the general experiment driver.
 //
-// Exposes the whole core::Scenario parameter space on the command line, so
-// downstream users can run custom experiments without writing C++:
+// A thin lookup into core::ScenarioRegistry: pick a named preset, override
+// any key on the command line, run, report. Downstream users run custom
+// experiments without writing C++:
 //
-//   agb_sim n=100 rate=40 adaptive=1 buffer=80 loss=0.05 duration_s=300
-//   agb_sim capacity=150000:0.2:45,300000:0.2:60 csv=run1
-//   agb_sim failures=60000:3:down,120000:3:up latency=uniform:1:40
+//   agb_sim list=1                             # catalogue of presets
+//   agb_sim scenario=fig9 adaptive=1 csv=run1
+//   agb_sim scenario=burst-loss n=120 duration_s=300
+//   agb_sim n=100 rate=40 adaptive=1 buffer=80 loss=0.05   # paper60 base
 //
-// Keys (defaults in parentheses):
+// Keys (defaults in parentheses; presets change some of them — see
+// src/core/scenario_registry.cc):
+//   scenario(paper60) quick(0)
 //   n(60) senders(4) rate(30) adaptive(0) partial_view(0) payload(16)
+//   poisson(1) supersede(0) pending_cap(64) view_max/view_subs/view_unsubs
 //   fanout(4) period_ms(2000) buffer(120) event_ids(4000) max_age(12)
+//   semantic_purge(0)
 //   tau_ms(2*period) window(2) alpha(0.9) critical_age(8) low_mark high_mark
 //   delta_d(0.1) delta_i(0.1) gamma(0.1) bucket(8) initial_rate robust_k(1)
 //   robust_floor(0) idle_age_boost(1)
 //   recovery(0) repair_after(2) give_up_after(8) retrieve_rounds(6)
 //   latency=fixed:ms | uniform:lo:hi | normal:mean:stddev   (fixed:1)
+//   wan_latency=<same grammar>  clusters(1)
 //   loss=p (iid) | burst:pgood:pbad:pgb:pbg                 (0)
 //   capacity=at_ms:frac:cap[,...]     failures=at_ms:node:up|down[,...]
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
 //   csv=prefix   (writes <prefix>_series.csv)
 #include <cstdio>
 #include <fstream>
-#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "core/scenario.h"
+#include "core/scenario_registry.h"
 #include "metrics/timeseries.h"
 
-namespace {
-
-using namespace agb;
-
-std::vector<std::string> split(const std::string& text, char sep) {
-  std::vector<std::string> out;
-  std::stringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, sep)) out.push_back(item);
-  return out;
-}
-
-bool parse_latency(const std::string& spec, sim::LatencyModel* out) {
-  auto parts = split(spec, ':');
-  if (parts.empty()) return false;
-  if (parts[0] == "fixed" && parts.size() == 2) {
-    *out = sim::LatencyModel::fixed(std::stod(parts[1]));
-    return true;
-  }
-  if (parts[0] == "uniform" && parts.size() == 3) {
-    *out = sim::LatencyModel::uniform(std::stod(parts[1]),
-                                      std::stod(parts[2]));
-    return true;
-  }
-  if (parts[0] == "normal" && parts.size() == 3) {
-    *out = sim::LatencyModel::normal(std::stod(parts[1]),
-                                     std::stod(parts[2]));
-    return true;
-  }
-  return false;
-}
-
-bool parse_loss(const std::string& spec, sim::LossModel* out) {
-  auto parts = split(spec, ':');
-  if (parts.size() == 1) {
-    *out = sim::LossModel::iid(std::stod(parts[0]));
-    return true;
-  }
-  if (parts[0] == "burst" && parts.size() == 5) {
-    *out = sim::LossModel::burst(std::stod(parts[1]), std::stod(parts[2]),
-                                 std::stod(parts[3]), std::stod(parts[4]));
-    return true;
-  }
-  return false;
-}
-
-bool parse_capacity_schedule(const std::string& spec,
-                             std::vector<core::CapacityChange>* out) {
-  for (const auto& item : split(spec, ',')) {
-    auto fields = split(item, ':');
-    if (fields.size() != 3) return false;
-    out->push_back(core::CapacityChange{
-        std::stoll(fields[0]), std::stod(fields[1]),
-        static_cast<std::size_t>(std::stoul(fields[2]))});
-  }
-  return true;
-}
-
-bool parse_failures(const std::string& spec,
-                    std::vector<core::FailureEvent>* out) {
-  for (const auto& item : split(spec, ',')) {
-    auto fields = split(item, ':');
-    if (fields.size() != 3 || (fields[2] != "up" && fields[2] != "down")) {
-      return false;
-    }
-    out->push_back(core::FailureEvent{
-        std::stoll(fields[0]),
-        static_cast<NodeId>(std::stoul(fields[1])), fields[2] == "up"});
-  }
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace agb;
+
   Config cfg;
   std::string error;
   if (!cfg.parse_args(argc, argv, &error)) {
@@ -112,83 +48,31 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  auto& registry = core::ScenarioRegistry::instance();
+  if (cfg.get_bool("list", false)) {
+    std::printf("%-18s %s\n", "scenario", "summary");
+    for (const auto* preset : registry.presets()) {
+      std::printf("%-18s %s\n", preset->name.c_str(),
+                  preset->summary.c_str());
+    }
+    return 0;
+  }
+
+  const std::string name = cfg.get_string("scenario", "paper60");
+  const core::ScenarioPreset* preset = registry.find(name);
+  if (preset == nullptr) {
+    std::fprintf(stderr, "agb_sim: unknown scenario '%s' (try list=1)\n",
+                 name.c_str());
+    return 2;
+  }
   core::ScenarioParams p;
-  p.n = static_cast<std::size_t>(cfg.get_int("n", 60));
-  p.senders = static_cast<std::size_t>(cfg.get_int("senders", 4));
-  p.offered_rate = cfg.get_double("rate", 30.0);
-  p.adaptive = cfg.get_bool("adaptive", false);
-  p.partial_view = cfg.get_bool("partial_view", false);
-  p.payload_size = static_cast<std::size_t>(cfg.get_int("payload", 16));
-  p.poisson_arrivals = cfg.get_bool("poisson", true);
-  p.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
-
-  p.gossip.fanout = static_cast<std::size_t>(cfg.get_int("fanout", 4));
-  p.gossip.gossip_period = cfg.get_int("period_ms", 2000);
-  p.gossip.max_events = static_cast<std::size_t>(cfg.get_int("buffer", 120));
-  p.gossip.max_event_ids =
-      static_cast<std::size_t>(cfg.get_int("event_ids", 4000));
-  p.gossip.max_age = static_cast<std::uint32_t>(cfg.get_int("max_age", 12));
-  p.gossip.recovery.enabled = cfg.get_bool("recovery", false);
-  p.gossip.recovery.repair_after_rounds =
-      static_cast<Round>(cfg.get_int("repair_after", 2));
-  p.gossip.recovery.give_up_after_rounds =
-      static_cast<Round>(cfg.get_int("give_up_after", 8));
-  p.gossip.recovery.retrieve_rounds =
-      static_cast<Round>(cfg.get_int("retrieve_rounds", 6));
-
-  p.adaptation.sample_period =
-      cfg.get_int("tau_ms", 2 * p.gossip.gossip_period);
-  p.adaptation.min_buff_window =
-      static_cast<std::size_t>(cfg.get_int("window", 2));
-  p.adaptation.alpha = cfg.get_double("alpha", 0.9);
-  p.adaptation.critical_age = cfg.get_double("critical_age", 8.0);
-  p.adaptation.low_age_mark =
-      cfg.get_double("low_mark", p.adaptation.critical_age - 0.5);
-  p.adaptation.high_age_mark =
-      cfg.get_double("high_mark", p.adaptation.critical_age + 0.5);
-  p.adaptation.decrease_factor = cfg.get_double("delta_d", 0.1);
-  p.adaptation.increase_factor = cfg.get_double("delta_i", 0.1);
-  p.adaptation.increase_probability = cfg.get_double("gamma", 0.1);
-  p.adaptation.bucket_capacity = cfg.get_double("bucket", 8.0);
-  p.adaptation.initial_rate = cfg.get_double(
-      "initial_rate", p.offered_rate / static_cast<double>(p.senders));
-  p.adaptation.robust_k =
-      static_cast<std::size_t>(cfg.get_int("robust_k", 1));
-  p.adaptation.robust_floor =
-      static_cast<std::uint32_t>(cfg.get_int("robust_floor", 0));
-  p.adaptation.idle_age_boost = cfg.get_bool("idle_age_boost", true);
-
-  p.warmup = cfg.get_int("warmup_s", 40) * 1000;
-  p.duration = cfg.get_int("duration_s", 150) * 1000;
-  p.cooldown = cfg.get_int("cooldown_s", 30) * 1000;
-  p.series_bucket = cfg.get_int("bucket_s", 5) * 1000;
-
-  if (auto spec = cfg.raw("latency")) {
-    if (!parse_latency(*spec, &p.network.latency)) {
-      std::fprintf(stderr, "agb_sim: bad latency spec '%s'\n", spec->c_str());
-      return 2;
-    }
+  try {
+    p = preset->build(cfg);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "agb_sim: %s\n", e.what());
+    return 2;
   }
-  if (auto spec = cfg.raw("loss")) {
-    if (!parse_loss(*spec, &p.network.loss)) {
-      std::fprintf(stderr, "agb_sim: bad loss spec '%s'\n", spec->c_str());
-      return 2;
-    }
-  }
-  if (auto spec = cfg.raw("capacity")) {
-    if (!parse_capacity_schedule(*spec, &p.capacity_schedule)) {
-      std::fprintf(stderr, "agb_sim: bad capacity spec '%s'\n",
-                   spec->c_str());
-      return 2;
-    }
-  }
-  if (auto spec = cfg.raw("failures")) {
-    if (!parse_failures(*spec, &p.failure_schedule)) {
-      std::fprintf(stderr, "agb_sim: bad failures spec '%s'\n",
-                   spec->c_str());
-      return 2;
-    }
-  }
+
   const std::string csv_prefix = cfg.get_string("csv", "");
   const bool per_node = cfg.get_bool("per_node", false);
 
@@ -199,6 +83,8 @@ int main(int argc, char** argv) {
   core::Scenario scenario(p);
   auto r = scenario.run();
 
+  std::printf("scenario         : %s (%s)\n", preset->name.c_str(),
+              preset->summary.c_str());
   std::printf("algorithm        : %s%s\n",
               p.adaptive ? "adaptive" : "lpbcast",
               p.gossip.recovery.enabled ? " + recovery" : "");
