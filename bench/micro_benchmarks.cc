@@ -10,6 +10,10 @@
 #include "core/scenario.h"
 #include "gossip/event_buffer.h"
 #include "gossip/message.h"
+#include "runtime/inmemory_fabric.h"
+#include "runtime/udp_transport.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
 
 namespace {
 
@@ -103,6 +107,125 @@ void BM_FanoutSharedBytes(benchmark::State& state) {
       static_cast<double>(bytes_copied);
 }
 BENCHMARK(BM_FanoutSharedBytes)->Arg(3)->Arg(5)->Arg(10);
+
+// The batch-first send path's receipts, one pair per fabric: fanning one
+// encoded message out to F targets one Datagram at a time (the old
+// interface, still available through the send() wrapper) vs one
+// send_batch(Multicast). Counters report the amortised resource per
+// fan-out batch — lock acquisitions (InMemoryFabric), simulator events
+// (SimNetwork), syscalls (UdpTransport) — each expected to drop ~F -> 1.
+
+std::vector<agb::NodeId> batch_targets(std::size_t fanout) {
+  std::vector<agb::NodeId> targets(fanout);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    targets[i] = static_cast<agb::NodeId>(i + 1);
+  }
+  return targets;
+}
+
+void BM_InMemoryFanoutPerTargetSend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  runtime::InMemoryFabric fabric({.loss_probability = 0.0,
+                                  .min_delay = 0,
+                                  .max_delay = 0});
+  const auto targets = batch_targets(fanout);
+  for (NodeId t : targets) fabric.attach(t, [](const Datagram&, TimeMs) {});
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  for (auto _ : state) {
+    for (NodeId t : targets) fabric.send(Datagram{0, t, payload});
+  }
+  state.counters["lock_acquisitions_per_batch"] =
+      static_cast<double>(fabric.send_lock_acquisitions()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_InMemoryFanoutPerTargetSend)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_InMemoryFanoutBatchSend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  runtime::InMemoryFabric fabric({.loss_probability = 0.0,
+                                  .min_delay = 0,
+                                  .max_delay = 0});
+  const auto targets = batch_targets(fanout);
+  for (NodeId t : targets) fabric.attach(t, [](const Datagram&, TimeMs) {});
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  for (auto _ : state) {
+    fabric.send_batch(Multicast{0, targets, payload});
+  }
+  state.counters["lock_acquisitions_per_batch"] =
+      static_cast<double>(fabric.send_lock_acquisitions()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_InMemoryFanoutBatchSend)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_SimNetworkFanoutPerTargetSend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, sim::NetworkParams{}, Rng(1));
+  const auto targets = batch_targets(fanout);
+  for (NodeId t : targets) net.attach(t, [](const Datagram&, TimeMs) {});
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  for (auto _ : state) {
+    for (NodeId t : targets) net.send(Datagram{0, t, payload});
+    sim.run();  // drain deliveries: the full per-round cost
+  }
+  state.counters["sim_events_per_batch"] =
+      static_cast<double>(net.stats().events_scheduled) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SimNetworkFanoutPerTargetSend)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_SimNetworkFanoutBatchSend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  sim::SimNetwork net(sim, sim::NetworkParams{}, Rng(1));
+  const auto targets = batch_targets(fanout);
+  for (NodeId t : targets) net.attach(t, [](const Datagram&, TimeMs) {});
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  for (auto _ : state) {
+    net.send_batch(Multicast{0, targets, payload});
+    sim.run();
+  }
+  state.counters["sim_events_per_batch"] =
+      static_cast<double>(net.stats().events_scheduled) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SimNetworkFanoutBatchSend)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_UdpFanoutPerTargetSend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  runtime::UdpTransport transport(29'100);
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  const auto targets = batch_targets(fanout);
+  for (NodeId t : targets) {
+    transport.attach(t, [](const Datagram&, TimeMs) {});
+  }
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  for (auto _ : state) {
+    for (NodeId t : targets) transport.send(Datagram{0, t, payload});
+  }
+  state.counters["syscalls_per_batch"] =
+      static_cast<double>(transport.send_syscalls()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_UdpFanoutPerTargetSend)->Arg(3)->Arg(5)->Arg(10);
+
+void BM_UdpFanoutBatchSend(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  runtime::UdpTransport transport(29'200);
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  const auto targets = batch_targets(fanout);
+  for (NodeId t : targets) {
+    transport.attach(t, [](const Datagram&, TimeMs) {});
+  }
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  for (auto _ : state) {
+    transport.send_batch(Multicast{0, targets, payload});
+  }
+  state.counters["syscalls_per_batch"] =
+      static_cast<double>(transport.send_syscalls()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_UdpFanoutBatchSend)->Arg(3)->Arg(5)->Arg(10);
 
 void BM_EventBufferInsertShrink(benchmark::State& state) {
   const auto capacity = static_cast<std::size_t>(state.range(0));

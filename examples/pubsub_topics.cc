@@ -94,10 +94,7 @@ std::unique_ptr<TopicGroup> make_topic(std::size_t topic, sim::Simulator& sim,
         sim, phase, kRoundMs, [raw = node.get(), &net](TimeMs now) {
           auto out = raw->on_round(now);
           if (out.targets.empty()) return;
-          const SharedBytes bytes = out.message.encode_shared();
-          for (NodeId target : out.targets) {
-            net.send(Datagram{raw->id(), target, bytes});
-          }
+          net.send_batch(std::move(out).to_multicast(raw->id()));
         }));
   }
   return group;

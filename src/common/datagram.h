@@ -5,10 +5,19 @@
 // or runtime) moves serialized datagrams between them. Both the simulator
 // (src/sim) and the real transports (src/runtime) implement DatagramNetwork,
 // so the exact same protocol code and wire codec run in both worlds.
+//
+// The interface is batch-first: a gossip round is inherently fan-out shaped
+// (the *same* encoded message to F targets), so the one virtual send entry
+// point is send_batch(Multicast). Fabrics amortise whatever is expensive for
+// them — locking, stats, simulator events, syscalls — across the whole
+// batch; the per-datagram send() is a non-virtual convenience wrapper over a
+// one-target batch, so there is exactly one code path to test and tune.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/shared_bytes.h"
 #include "common/types.h"
@@ -23,6 +32,15 @@ namespace agb {
 struct Datagram {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
+  SharedBytes payload;
+};
+
+/// One encoded payload addressed to many targets — a whole gossip fan-out.
+/// Loss, latency and delivery stay *per target* (UDP semantics are
+/// unchanged); only the bookkeeping around them is amortised.
+struct Multicast {
+  NodeId from = kInvalidNode;
+  std::vector<NodeId> targets;
   SharedBytes payload;
 };
 
@@ -44,8 +62,17 @@ class DatagramNetwork {
   /// Removes a node; datagrams in flight to it are dropped.
   virtual void detach(NodeId node) = 0;
 
-  /// Sends best-effort; may be silently dropped (loss, partition, detach).
-  virtual void send(Datagram datagram) = 0;
+  /// Sends `batch.payload` best-effort to every target; any target's copy
+  /// may be silently dropped (loss, partition, detach). The single virtual
+  /// send entry point.
+  virtual void send_batch(Multicast batch) = 0;
+
+  /// Point-to-point convenience: a one-target batch.
+  void send(Datagram datagram) {
+    send_batch(Multicast{datagram.from,
+                         std::vector<NodeId>{datagram.to},
+                         std::move(datagram.payload)});
+  }
 };
 
 }  // namespace agb

@@ -109,14 +109,11 @@ void Scenario::build_nodes() {
 }
 
 void Scenario::emit(gossip::LpbcastNode& node,
-                    const gossip::LpbcastNode::Outgoing& out) {
+                    gossip::LpbcastNode::Outgoing out) {
   if (!out.targets.empty()) {
-    // Encode once; every target's Datagram aliases the same SharedBytes
-    // buffer (codec cost linear in messages, byte copies zero).
-    const SharedBytes bytes = out.message.encode_shared();
-    for (NodeId target : out.targets) {
-      net_->send(Datagram{node.id(), target, bytes});
-    }
+    // One Multicast per gossip round: encode once, one network stats pass,
+    // every target aliasing the same SharedBytes buffer.
+    net_->send_batch(std::move(out).to_multicast(node.id()));
   }
   drain_outbox(node);
 }
@@ -144,8 +141,7 @@ void Scenario::start_round_timers() {
     timers_.push_back(std::make_unique<sim::PeriodicTimer>(
         sim_, phase, params_.gossip.gossip_period,
         [this, raw = node.get()](TimeMs now) {
-          auto out = raw->on_round(now);
-          emit(*raw, out);
+          emit(*raw, raw->on_round(now));
         }));
   }
 }

@@ -167,7 +167,7 @@ class Scenario {
   void start_sampler();
   void apply_capacity_schedule();
   void apply_failure_schedule();
-  void emit(gossip::LpbcastNode& node, const gossip::LpbcastNode::Outgoing& out);
+  void emit(gossip::LpbcastNode& node, gossip::LpbcastNode::Outgoing out);
   void drain_outbox(gossip::LpbcastNode& node);
   void sender_arrival(SenderState& sender);
   void drain_sender(SenderState& sender);

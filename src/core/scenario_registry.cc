@@ -138,6 +138,31 @@ ScenarioParams build_semantic_streams(const Config& cfg) {
 
 }  // namespace
 
+std::vector<double> SweepSpec::values() const {
+  std::vector<double> out;
+  if (step <= 0.0) return out;
+  const double tolerance = step * 1e-9;
+  for (double v = lo; v <= hi + tolerance; v += step) out.push_back(v);
+  return out;
+}
+
+bool parse_sweep_spec(const std::string& spec, SweepSpec* out) {
+  auto parts = split(spec, ':');
+  if (parts.size() != 4 || parts[0].empty()) return false;
+  SweepSpec parsed;
+  parsed.axis = parts[0];
+  try {
+    parsed.lo = std::stod(parts[1]);
+    parsed.hi = std::stod(parts[2]);
+    parsed.step = std::stod(parts[3]);
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (parsed.step <= 0.0 || parsed.hi < parsed.lo) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
 bool parse_latency_spec(const std::string& spec, sim::LatencyModel* out) {
   auto parts = split(spec, ':');
   if (parts.empty()) return false;

@@ -89,8 +89,25 @@ class ScenarioRegistry {
 ///   failures=at_ms:node:up|down[,...]
 ScenarioParams params_from_config(const Config& cfg, ScenarioParams base);
 
+/// A registry-driven parameter sweep: `axis:lo:hi:step`, where `axis` is
+/// any numeric key of the shared key=value vocabulary (rate, buffer, n,
+/// fanout, loss, period_ms, ...). One agb_sim invocation replays a whole
+/// per-figure sweep by rebuilding the chosen preset once per axis value —
+/// the fig binaries stay as thin wrappers over the same presets.
+struct SweepSpec {
+  std::string axis;
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 1.0;
+
+  /// lo, lo+step, ... up to and including hi (with a tolerance of one
+  /// part in 1e9 of a step, so fractional axes don't drop the last value).
+  [[nodiscard]] std::vector<double> values() const;
+};
+
 /// Spec-string parsers, exposed for tools and tests. Return false on
 /// malformed input and leave `out` untouched.
+bool parse_sweep_spec(const std::string& spec, SweepSpec* out);
 bool parse_latency_spec(const std::string& spec, sim::LatencyModel* out);
 bool parse_loss_spec(const std::string& spec, sim::LossModel* out);
 bool parse_capacity_spec(const std::string& spec,

@@ -47,6 +47,22 @@ EventId LpbcastNode::broadcast_on_stream(Payload payload, TimeMs now,
   return EventId{self_, next_sequence_ - 1};
 }
 
+Multicast LpbcastNode::Outgoing::to_multicast(NodeId from) const& {
+  Multicast batch;
+  batch.from = from;
+  batch.targets = targets;
+  if (!targets.empty()) batch.payload = message.encode_shared();
+  return batch;
+}
+
+Multicast LpbcastNode::Outgoing::to_multicast(NodeId from) && {
+  Multicast batch;
+  batch.from = from;
+  if (!targets.empty()) batch.payload = message.encode_shared();
+  batch.targets = std::move(targets);
+  return batch;
+}
+
 LpbcastNode::Outgoing LpbcastNode::on_round(TimeMs now) {
   on_round_start(now);
   // Repair bookkeeping counts *completed* rounds of waiting, so it runs

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/datagram.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -97,6 +98,14 @@ class LpbcastNode {
   struct Outgoing {
     std::vector<NodeId> targets;
     GossipMessage message;
+
+    /// Packages the round as one network batch: encodes the message once
+    /// and addresses the shared bytes to every target. An empty round
+    /// (no targets) yields an empty batch with no encode at all. The
+    /// rvalue overload steals the target list — drivers call it on their
+    /// way to send_batch, once per round, so the hot path never copies it.
+    [[nodiscard]] Multicast to_multicast(NodeId from) const&;
+    [[nodiscard]] Multicast to_multicast(NodeId from) &&;
   };
 
   /// Executes one gossip round: age update, age-limit purge, emission.

@@ -1,0 +1,101 @@
+#include "runtime/endpoint_directory.h"
+
+#include <arpa/inet.h>
+
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace agb::runtime {
+
+namespace {
+
+constexpr std::uint32_t kLoopbackHost = 0x7f000001;  // 127.0.0.1
+
+}  // namespace
+
+bool LoopbackDirectory::resolve(NodeId node, UdpEndpoint* out) const {
+  const std::uint32_t port = base_port_ + node;
+  if (port > 0xffff) return false;  // would wrap past the port space
+  *out = UdpEndpoint{kLoopbackHost, static_cast<std::uint16_t>(port)};
+  return true;
+}
+
+void StaticDirectory::add(NodeId node, UdpEndpoint endpoint) {
+  entries_[node] = endpoint;
+}
+
+bool StaticDirectory::add_spec(NodeId node, const std::string& spec) {
+  UdpEndpoint endpoint;
+  if (!parse_endpoint_spec(spec, &endpoint)) return false;
+  add(node, endpoint);
+  return true;
+}
+
+std::optional<StaticDirectory> StaticDirectory::from_file(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  StaticDirectory directory;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream fields(line);
+    std::string id_token;
+    std::string spec;
+    std::string trailing;
+    if (!(fields >> id_token)) continue;  // blank or comment-only line
+    // Any non-blank line must parse completely — a skipped entry would
+    // misroute gossip silently. The id must be a bare decimal NodeId
+    // (stoul alone would wrap "-1" through unsigned conversion).
+    if (!(fields >> spec) || (fields >> trailing)) return std::nullopt;
+    if (!std::isdigit(static_cast<unsigned char>(id_token.front()))) {
+      return std::nullopt;
+    }
+    unsigned long node = 0;
+    try {
+      std::size_t used = 0;
+      node = std::stoul(id_token, &used);
+      if (used != id_token.size()) return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (node > std::numeric_limits<NodeId>::max() ||
+        !directory.add_spec(static_cast<NodeId>(node), spec)) {
+      return std::nullopt;
+    }
+  }
+  return directory;
+}
+
+bool StaticDirectory::resolve(NodeId node, UdpEndpoint* out) const {
+  auto it = entries_.find(node);
+  if (it == entries_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool parse_endpoint_spec(const std::string& spec, UdpEndpoint* out) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  const std::string host = spec.substr(0, colon);
+  in_addr addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) return false;
+  unsigned long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(spec.substr(colon + 1), &used);
+    if (used != spec.size() - colon - 1) return false;
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (port == 0 || port > 0xffff) return false;
+  *out = UdpEndpoint{ntohl(addr.s_addr), static_cast<std::uint16_t>(port)};
+  return true;
+}
+
+}  // namespace agb::runtime

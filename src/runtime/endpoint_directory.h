@@ -1,0 +1,79 @@
+// NodeId → UDP endpoint resolution for runtime::UdpTransport.
+//
+// The paper validated its protocol on 60 physical workstations; our UDP
+// transport stays host-agnostic by resolving every gossip target through
+// this directory instead of hard-coding an address scheme.
+// LoopbackDirectory preserves the classic single-host 127.0.0.1:(base+id)
+// layout; StaticDirectory carries an explicit NodeId → host:port table,
+// built in code or loaded from a config file, for multi-host deployments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace agb::runtime {
+
+/// An IPv4/UDP endpoint, both fields in host byte order.
+struct UdpEndpoint {
+  std::uint32_t ipv4 = 0;  // 127.0.0.1 == 0x7f000001
+  std::uint16_t port = 0;
+
+  friend bool operator==(const UdpEndpoint&, const UdpEndpoint&) = default;
+};
+
+/// Maps NodeId → UdpEndpoint. Resolution sits on the transport's send path,
+/// so implementations must be non-blocking (no DNS) and safe to call from
+/// several threads concurrently once constructed.
+class EndpointDirectory {
+ public:
+  virtual ~EndpointDirectory() = default;
+
+  /// Returns false (leaving *out untouched) for unknown nodes.
+  [[nodiscard]] virtual bool resolve(NodeId node, UdpEndpoint* out) const = 0;
+};
+
+/// The laptop-scale scheme: node i lives at 127.0.0.1:(base_port + i).
+class LoopbackDirectory final : public EndpointDirectory {
+ public:
+  explicit LoopbackDirectory(std::uint16_t base_port)
+      : base_port_(base_port) {}
+
+  [[nodiscard]] bool resolve(NodeId node, UdpEndpoint* out) const override;
+
+ private:
+  std::uint16_t base_port_;
+};
+
+/// An explicit NodeId → endpoint table. Hosts are IPv4 dotted quads —
+/// resolution must never block, so name lookup belongs to whoever builds
+/// the table.
+class StaticDirectory final : public EndpointDirectory {
+ public:
+  StaticDirectory() = default;
+
+  void add(NodeId node, UdpEndpoint endpoint);
+
+  /// Adds one "a.b.c.d:port" entry; returns false on malformed input.
+  bool add_spec(NodeId node, const std::string& spec);
+
+  /// Loads "node_id a.b.c.d:port" lines ('#' comments and blank lines are
+  /// ignored). Returns nullopt if the file cannot be read or any line is
+  /// malformed — a half-loaded directory would misroute gossip silently.
+  static std::optional<StaticDirectory> from_file(const std::string& path);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool resolve(NodeId node, UdpEndpoint* out) const override;
+
+ private:
+  std::unordered_map<NodeId, UdpEndpoint> entries_;
+};
+
+/// Parses "a.b.c.d:port" into an endpoint. Exposed for config plumbing and
+/// tests; returns false (leaving *out untouched) on malformed input.
+bool parse_endpoint_spec(const std::string& spec, UdpEndpoint* out);
+
+}  // namespace agb::runtime

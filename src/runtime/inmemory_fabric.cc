@@ -35,22 +35,30 @@ void InMemoryFabric::detach(NodeId node) {
   }
 }
 
-void InMemoryFabric::send(Datagram datagram) {
+void InMemoryFabric::send_batch(Multicast batch) {
   std::lock_guard lock(mutex_);
+  ++send_lock_acquisitions_;
   if (stopping_) return;
-  if (rng_.bernoulli(params_.loss_probability)) {
-    ++dropped_;
-    return;
+  const TimeMs base = now();
+  bool queued = false;
+  for (NodeId to : batch.targets) {
+    if (rng_.bernoulli(params_.loss_probability)) {
+      ++dropped_;
+      continue;
+    }
+    const DurationMs spread = params_.max_delay - params_.min_delay;
+    const DurationMs delay =
+        params_.min_delay +
+        (spread > 0
+             ? static_cast<DurationMs>(
+                   rng_.next_below(static_cast<std::uint64_t>(spread) + 1))
+             : 0);
+    // Each queue entry aliases the batch payload: a refcount bump per
+    // target, one heap buffer for the whole fan-out.
+    queue_.emplace(base + delay, Datagram{batch.from, to, batch.payload});
+    queued = true;
   }
-  const DurationMs spread = params_.max_delay - params_.min_delay;
-  const DurationMs delay =
-      params_.min_delay +
-      (spread > 0
-           ? static_cast<DurationMs>(
-                 rng_.next_below(static_cast<std::uint64_t>(spread) + 1))
-           : 0);
-  queue_.emplace(now() + delay, std::move(datagram));
-  cv_.notify_one();
+  if (queued) cv_.notify_one();  // one wakeup for the whole batch
 }
 
 std::uint64_t InMemoryFabric::delivered() const {
@@ -61,6 +69,11 @@ std::uint64_t InMemoryFabric::delivered() const {
 std::uint64_t InMemoryFabric::dropped() const {
   std::lock_guard lock(mutex_);
   return dropped_;
+}
+
+std::uint64_t InMemoryFabric::send_lock_acquisitions() const {
+  std::lock_guard lock(mutex_);
+  return send_lock_acquisitions_;
 }
 
 void InMemoryFabric::shutdown() {

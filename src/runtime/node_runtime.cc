@@ -50,15 +50,12 @@ void NodeRuntime::round_loop() {
     if (stopping_.load()) return;
     auto out = node_->on_round(clock_());
     auto controls = node_->take_outbox();
-    // Encode once; the SharedBytes payload is aliased by every target's
-    // Datagram, so fan-out costs one refcount bump per target.
-    const SharedBytes bytes =
-        out.targets.empty() ? SharedBytes{} : out.message.encode_shared();
+    // One Multicast per round: encoded once here, handed to the fabric as
+    // a single batch (one lock acquisition / syscall on its side).
+    Multicast batch = std::move(out).to_multicast(node_->id());
     const NodeId self = node_->id();
     lock.unlock();  // never hold the node lock across network calls
-    for (NodeId target : out.targets) {
-      network_.send(Datagram{self, target, bytes});
-    }
+    if (!batch.targets.empty()) network_.send_batch(std::move(batch));
     for (auto& control : controls) {
       network_.send(Datagram{self, control.target,
                              std::move(control.payload)});

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
@@ -16,11 +17,11 @@ namespace {
 
 constexpr std::size_t kMaxDatagram = 64 * 1024;
 
-sockaddr_in loopback_address(std::uint16_t port) {
+sockaddr_in to_sockaddr(const UdpEndpoint& endpoint) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoint.port);
+  addr.sin_addr.s_addr = htonl(endpoint.ipv4);
   return addr;
 }
 
@@ -43,8 +44,12 @@ struct UdpTransport::Endpoint {
   }
 };
 
+UdpTransport::UdpTransport(std::shared_ptr<const EndpointDirectory> directory)
+    : directory_(std::move(directory)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
 UdpTransport::UdpTransport(std::uint16_t base_port)
-    : base_port_(base_port), epoch_(std::chrono::steady_clock::now()) {}
+    : UdpTransport(std::make_shared<LoopbackDirectory>(base_port)) {}
 
 UdpTransport::~UdpTransport() {
   std::lock_guard lock(mutex_);
@@ -58,6 +63,12 @@ TimeMs UdpTransport::now() const {
 }
 
 void UdpTransport::attach(NodeId node, DatagramHandler handler) {
+  UdpEndpoint self{};
+  if (!directory_->resolve(node, &self)) {
+    throw std::runtime_error("udp: no directory entry for node " +
+                             std::to_string(node));
+  }
+
   auto endpoint = std::make_unique<Endpoint>();
   endpoint->node = node;
   endpoint->handler = std::move(handler);
@@ -66,7 +77,13 @@ void UdpTransport::attach(NodeId node, DatagramHandler handler) {
   if (endpoint->fd < 0) throw std::runtime_error("udp socket() failed");
   const int reuse = 1;
   ::setsockopt(endpoint->fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  auto addr = loopback_address(static_cast<std::uint16_t>(base_port_ + node));
+  // Bind the directory's port on every interface: the node's published
+  // address may be a real NIC, loopback, or behind NAT — only the port is
+  // ours to claim.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(self.port);
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
   if (::bind(endpoint->fd, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     ::close(endpoint->fd);
@@ -111,35 +128,83 @@ void UdpTransport::detach(NodeId node) {
   // Destructor closes the socket and joins the thread outside the lock.
 }
 
-void UdpTransport::send(Datagram datagram) {
+void UdpTransport::send_batch(Multicast batch) {
+  if (batch.targets.empty()) return;
   int fd = -1;
   {
     std::lock_guard lock(mutex_);
-    auto it = endpoints_.find(datagram.from);
+    auto it = endpoints_.find(batch.from);
     if (it == endpoints_.end()) {
-      send_failures_.fetch_add(1);
+      send_failures_.fetch_add(batch.targets.size());
       return;
     }
     fd = it->second->fd;
   }
-  // Scatter-gather send: the 4-byte sender prefix and the shared payload go
-  // out as one datagram without assembling a contiguous copy, so even the
-  // kernel handoff never duplicates the encoded message.
-  NodeId from = datagram.from;
+
+  // Scatter-gather descriptor shared by every per-target message: the
+  // 4-byte sender prefix and the SharedBytes payload go out as one datagram
+  // per target without ever assembling a contiguous copy.
+  NodeId from = batch.from;
   iovec iov[2];
   iov[0].iov_base = &from;
   iov[0].iov_len = 4;
-  iov[1].iov_base = const_cast<std::uint8_t*>(datagram.payload.data());
-  iov[1].iov_len = datagram.payload.size();
-  auto addr =
-      loopback_address(static_cast<std::uint16_t>(base_port_ + datagram.to));
-  msghdr msg{};
-  msg.msg_name = &addr;
-  msg.msg_namelen = sizeof(addr);
-  msg.msg_iov = iov;
-  msg.msg_iovlen = datagram.payload.empty() ? 1 : 2;
-  const ssize_t sent = ::sendmsg(fd, &msg, 0);
-  if (sent < 0) send_failures_.fetch_add(1);
+  iov[1].iov_base = const_cast<std::uint8_t*>(batch.payload.data());
+  iov[1].iov_len = batch.payload.size();
+  const std::size_t iovlen = batch.payload.empty() ? 1 : 2;
+
+  std::vector<sockaddr_in> addrs;
+  addrs.reserve(batch.targets.size());
+  for (NodeId to : batch.targets) {
+    UdpEndpoint endpoint{};
+    if (!directory_->resolve(to, &endpoint)) {
+      send_failures_.fetch_add(1);
+      continue;
+    }
+    addrs.push_back(to_sockaddr(endpoint));
+  }
+  if (addrs.empty()) return;
+
+#if defined(__linux__)
+  std::vector<mmsghdr> msgs(addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    msgs[i] = mmsghdr{};
+    msgs[i].msg_hdr.msg_name = &addrs[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+    msgs[i].msg_hdr.msg_iov = iov;
+    msgs[i].msg_hdr.msg_iovlen = iovlen;
+  }
+  std::size_t done = 0;
+  while (done < msgs.size()) {
+    const int sent =
+        ::sendmmsg(fd, msgs.data() + done,
+                   static_cast<unsigned>(msgs.size() - done), 0);
+    send_syscalls_.fetch_add(1);
+    if (sent < 0) {
+      if (errno == ENOSYS) break;  // ancient kernel: sendmsg loop below
+      // Per-target error semantics, exactly like a sendmsg loop: one
+      // failing target costs one failure, the rest of the batch still
+      // goes out.
+      send_failures_.fetch_add(1);
+      ++done;
+      continue;
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+  if (done >= msgs.size()) return;
+#else
+  std::size_t done = 0;
+#endif
+
+  // Portable per-target path: fallback for non-Linux builds and ENOSYS.
+  for (std::size_t i = done; i < addrs.size(); ++i) {
+    msghdr msg{};
+    msg.msg_name = &addrs[i];
+    msg.msg_namelen = sizeof(addrs[i]);
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovlen;
+    send_syscalls_.fetch_add(1);
+    if (::sendmsg(fd, &msg, 0) < 0) send_failures_.fetch_add(1);
+  }
 }
 
 }  // namespace agb::runtime

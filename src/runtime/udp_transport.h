@@ -1,11 +1,18 @@
 // UDP socket transport: the protocol over a real network stack.
 //
-// Each attached node gets its own datagram socket bound to
-// 127.0.0.1:(base_port + node id) and a receive thread. A 4-byte
-// little-endian sender id prefixes every payload so receivers know the
-// gossip peer without trusting source addresses. This is the closest
-// laptop-scale equivalent of the paper's 60-workstation Ethernet
-// deployment; multi-host runs only need the address map generalised.
+// Each attached node gets its own datagram socket and a receive thread. A
+// 4-byte little-endian sender id prefixes every payload so receivers know
+// the gossip peer without trusting source addresses. Targets (and the local
+// bind port) are resolved through an EndpointDirectory: LoopbackDirectory
+// reproduces the classic single-host 127.0.0.1:(base_port + id) layout, a
+// StaticDirectory spreads the group over real hosts — the transport itself
+// is host-agnostic, like the paper's 60-workstation deployment.
+//
+// A whole fan-out batch goes to the kernel as ONE sendmmsg() syscall
+// (chunked only if the batch exceeds the syscall's limit; a portable
+// sendmsg loop is the non-Linux fallback), with every per-target message
+// sharing the same scatter-gather iovec — the encoded payload is never
+// copied in user space.
 #pragma once
 
 #include <atomic>
@@ -17,37 +24,56 @@
 
 #include "common/datagram.h"
 #include "common/types.h"
+#include "runtime/endpoint_directory.h"
 
 namespace agb::runtime {
 
 class UdpTransport final : public DatagramNetwork {
  public:
-  /// Node `i` is reachable at 127.0.0.1:(base_port + i).
+  /// Resolves every node — local binds and remote targets — through
+  /// `directory`.
+  explicit UdpTransport(std::shared_ptr<const EndpointDirectory> directory);
+
+  /// Single-host convenience: node `i` is reachable at
+  /// 127.0.0.1:(base_port + i).
   explicit UdpTransport(std::uint16_t base_port);
+
   ~UdpTransport() override;
 
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  /// Binds the node's socket and starts its receive thread. Throws
-  /// std::runtime_error if the port cannot be bound.
+  /// Binds the node's socket (on the directory's port for it) and starts
+  /// its receive thread. Throws std::runtime_error if the node has no
+  /// directory entry or the port cannot be bound.
   void attach(NodeId node, DatagramHandler handler) override;
   void detach(NodeId node) override;
-  void send(Datagram datagram) override;
+
+  /// One syscall per batch (sendmmsg), not one per target; unresolvable
+  /// targets count as send failures and the rest of the batch still goes
+  /// out.
+  void send_batch(Multicast batch) override;
 
   [[nodiscard]] TimeMs now() const;
   [[nodiscard]] std::uint64_t send_failures() const {
     return send_failures_.load();
   }
 
+  /// Kernel round-trips taken by the send path (sendmmsg/sendmsg calls).
+  /// The batch micro-benchmarks report this per fan-out batch.
+  [[nodiscard]] std::uint64_t send_syscalls() const {
+    return send_syscalls_.load();
+  }
+
  private:
   struct Endpoint;
 
-  std::uint16_t base_port_;
+  std::shared_ptr<const EndpointDirectory> directory_;
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
   std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> send_syscalls_{0};
 };
 
 }  // namespace agb::runtime

@@ -5,14 +5,6 @@
 
 namespace agb::sim {
 
-namespace {
-
-std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
-  return a < b ? std::pair{a, b} : std::pair{b, a};
-}
-
-}  // namespace
-
 DurationMs LatencyModel::sample(Rng& rng) const {
   double delay = 0.0;
   switch (kind) {
@@ -59,45 +51,80 @@ bool SimNetwork::loss_drop() {
   return false;
 }
 
-void SimNetwork::send(Datagram datagram) {
-  ++stats_.sent;
-  if (down_.contains(datagram.from) || down_.contains(datagram.to)) {
-    ++stats_.dropped_down;
-    return;
-  }
-  if (partitioned(datagram.from, datagram.to)) {
-    ++stats_.dropped_partition;
-    return;
-  }
-  if (loss_drop()) {
-    ++stats_.dropped_loss;
-    return;
-  }
-  // Latency selection: explicit per-link override > cluster rule > default.
-  const LatencyModel* latency = &params_.latency;
-  if (params_.clusters > 1 &&
-      datagram.from % params_.clusters != datagram.to % params_.clusters) {
-    latency = &params_.wan_latency;
-  }
-  if (!link_latency_.empty()) {
-    auto it = link_latency_.find(ordered(datagram.from, datagram.to));
-    if (it != link_latency_.end()) latency = &it->second;
-  }
-  const DurationMs delay = latency->sample(rng_);
-  sim_.after(delay, [this, d = std::move(datagram)]() mutable {
-    if (down_.contains(d.to)) {
+void SimNetwork::send_batch(Multicast batch) {
+  ++stats_.batches;
+  stats_.sent += batch.targets.size();
+  const bool sender_down = down_.contains(batch.from);
+
+  // Per-target loss/latency sampling, grouped by sampled delay so every
+  // group rides one simulator event. Groups keep first-appearance order
+  // (and targets within a group keep batch order), so delivery order and
+  // RNG draw order match the old per-datagram path exactly.
+  struct DelayGroup {
+    DurationMs delay;
+    std::vector<NodeId> targets;
+  };
+  std::vector<DelayGroup> groups;
+  for (NodeId to : batch.targets) {
+    if (sender_down || down_.contains(to)) {
       ++stats_.dropped_down;
-      return;
+      continue;
     }
-    auto it = handlers_.find(d.to);
-    if (it == handlers_.end()) {
-      ++stats_.dropped_detached;
-      return;
+    if (partitioned(batch.from, to)) {
+      ++stats_.dropped_partition;
+      continue;
     }
-    ++stats_.delivered;
-    stats_.bytes_delivered += d.payload.size();
-    it->second(d, sim_.now());
-  });
+    if (loss_drop()) {
+      ++stats_.dropped_loss;
+      continue;
+    }
+    // Latency selection: explicit per-link override > cluster rule >
+    // default.
+    const LatencyModel* latency = &params_.latency;
+    if (params_.clusters > 1 &&
+        batch.from % params_.clusters != to % params_.clusters) {
+      latency = &params_.wan_latency;
+    }
+    if (!link_latency_.empty()) {
+      auto it = link_latency_.find(symmetric_link_key(batch.from, to));
+      if (it != link_latency_.end()) latency = &it->second;
+    }
+    const DurationMs delay = latency->sample(rng_);
+    auto group = std::find_if(groups.begin(), groups.end(),
+                              [delay](const DelayGroup& g) {
+                                return g.delay == delay;
+                              });
+    if (group == groups.end()) {
+      groups.push_back(DelayGroup{delay, {to}});
+    } else {
+      group->targets.push_back(to);
+    }
+  }
+
+  for (auto& group : groups) {
+    ++stats_.events_scheduled;
+    sim_.after(group.delay, [this, from = batch.from,
+                             targets = std::move(group.targets),
+                             payload = batch.payload]() {
+      for (NodeId to : targets) {
+        if (down_.contains(to)) {
+          ++stats_.dropped_down;
+          continue;
+        }
+        auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          ++stats_.dropped_detached;
+          continue;
+        }
+        ++stats_.delivered;
+        stats_.bytes_delivered += payload.size();
+        // Every target's Datagram aliases the batch payload — refcount
+        // bumps only, no byte copies anywhere on the delivery path.
+        const Datagram d{from, to, payload};
+        it->second(d, sim_.now());
+      }
+    });
+  }
 }
 
 void SimNetwork::set_node_up(NodeId node, bool up) {
@@ -111,19 +138,21 @@ void SimNetwork::set_node_up(NodeId node, bool up) {
 bool SimNetwork::node_up(NodeId node) const { return !down_.contains(node); }
 
 void SimNetwork::partition(NodeId a, NodeId b) {
-  partitions_.insert(ordered(a, b));
+  partitions_.insert(symmetric_link_key(a, b));
 }
 
-void SimNetwork::heal(NodeId a, NodeId b) { partitions_.erase(ordered(a, b)); }
+void SimNetwork::heal(NodeId a, NodeId b) {
+  partitions_.erase(symmetric_link_key(a, b));
+}
 
 void SimNetwork::heal_all() { partitions_.clear(); }
 
 bool SimNetwork::partitioned(NodeId a, NodeId b) const {
-  return partitions_.contains(ordered(a, b));
+  return partitions_.contains(symmetric_link_key(a, b));
 }
 
 void SimNetwork::set_link_latency(NodeId a, NodeId b, LatencyModel model) {
-  link_latency_[ordered(a, b)] = model;
+  link_latency_[symmetric_link_key(a, b)] = model;
 }
 
 void SimNetwork::clear_link_latencies() { link_latency_.clear(); }

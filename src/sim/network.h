@@ -72,6 +72,15 @@ struct LossModel {
   }
 };
 
+/// Canonical key for a symmetric (unordered) node pair. Both the partition
+/// set and the per-link latency table index on this, so partition(a,b) /
+/// set_link_latency(a,b) and their (b,a) spellings always hit the same
+/// entry.
+[[nodiscard]] constexpr std::pair<NodeId, NodeId> symmetric_link_key(
+    NodeId a, NodeId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
 struct NetworkParams {
   LatencyModel latency = LatencyModel::fixed(1.0);
   LossModel loss = LossModel::none();
@@ -87,7 +96,11 @@ struct NetworkParams {
 
 /// Counters exposed for tests and benches.
 struct NetworkStats {
-  std::uint64_t sent = 0;
+  std::uint64_t sent = 0;        // one per (batch, target) pair
+  std::uint64_t batches = 0;     // send_batch calls (a fan-out counts once)
+  /// Simulator events scheduled for deliveries: same-delay targets of one
+  /// batch share one event, so a fixed-latency fan-out of F costs 1, not F.
+  std::uint64_t events_scheduled = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_partition = 0;
@@ -102,7 +115,12 @@ class SimNetwork final : public DatagramNetwork {
 
   void attach(NodeId node, DatagramHandler handler) override;
   void detach(NodeId node) override;
-  void send(Datagram datagram) override;
+
+  /// Loss/latency are sampled per target (per-target RNG draw order matches
+  /// the old per-datagram path, so seeded runs are unchanged); stats run
+  /// once per batch, and all targets that sampled the same delay are
+  /// delivered by one simulator event.
+  void send_batch(Multicast batch) override;
 
   /// Crash/recover: a down node neither sends nor receives.
   void set_node_up(NodeId node, bool up);

@@ -60,10 +60,7 @@ struct Cluster {
         sim, phase, kRound, [this, raw = node.get()](TimeMs now) {
           auto out = raw->on_round(now);
           if (out.targets.empty()) return;
-          const SharedBytes bytes = out.message.encode_shared();
-          for (NodeId target : out.targets) {
-            net.send(Datagram{raw->id(), target, bytes});
-          }
+          net.send_batch(std::move(out).to_multicast(raw->id()));
         }));
     nodes.push_back(std::move(node));
     return nodes.back().get();

@@ -1,0 +1,122 @@
+#include "runtime/endpoint_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace agb::runtime {
+namespace {
+
+constexpr std::uint32_t kLoopback = 0x7f000001;
+
+TEST(ParseEndpointSpecTest, AcceptsDottedQuadAndPort) {
+  UdpEndpoint out;
+  ASSERT_TRUE(parse_endpoint_spec("10.1.2.3:9000", &out));
+  EXPECT_EQ(out.ipv4, 0x0a010203u);
+  EXPECT_EQ(out.port, 9000);
+  ASSERT_TRUE(parse_endpoint_spec("127.0.0.1:65535", &out));
+  EXPECT_EQ(out.ipv4, kLoopback);
+  EXPECT_EQ(out.port, 65535);
+}
+
+TEST(ParseEndpointSpecTest, RejectsMalformedSpecs) {
+  UdpEndpoint out{1, 2};
+  for (const char* bad :
+       {"", ":", "10.1.2.3", "10.1.2.3:", ":9000", "10.1.2.3:0",
+        "10.1.2.3:70000", "10.1.2.3:90a", "not-a-host:9000",
+        "10.1.2.3.4:9000"}) {
+    EXPECT_FALSE(parse_endpoint_spec(bad, &out)) << bad;
+  }
+  // Failed parses never touch the output.
+  EXPECT_EQ(out, (UdpEndpoint{1, 2}));
+}
+
+TEST(LoopbackDirectoryTest, MapsNodeToBasePlusId) {
+  LoopbackDirectory directory(30'000);
+  UdpEndpoint out;
+  ASSERT_TRUE(directory.resolve(0, &out));
+  EXPECT_EQ(out, (UdpEndpoint{kLoopback, 30'000}));
+  ASSERT_TRUE(directory.resolve(41, &out));
+  EXPECT_EQ(out, (UdpEndpoint{kLoopback, 30'041}));
+}
+
+TEST(LoopbackDirectoryTest, RefusesPortSpaceOverflow) {
+  LoopbackDirectory directory(65'530);
+  UdpEndpoint out;
+  EXPECT_TRUE(directory.resolve(5, &out));
+  EXPECT_FALSE(directory.resolve(6, &out));
+}
+
+TEST(StaticDirectoryTest, ResolvesOnlyKnownNodes) {
+  StaticDirectory directory;
+  directory.add(7, UdpEndpoint{0x0a000001, 4000});
+  ASSERT_TRUE(directory.add_spec(9, "10.0.0.2:4001"));
+  EXPECT_EQ(directory.size(), 2u);
+
+  UdpEndpoint out;
+  ASSERT_TRUE(directory.resolve(7, &out));
+  EXPECT_EQ(out, (UdpEndpoint{0x0a000001, 4000}));
+  ASSERT_TRUE(directory.resolve(9, &out));
+  EXPECT_EQ(out, (UdpEndpoint{0x0a000002, 4001}));
+  EXPECT_FALSE(directory.resolve(8, &out));
+  EXPECT_FALSE(directory.add_spec(10, "bogus"));
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents)
+      : path_(testing::TempDir() + "agb_endpoints_" +
+              std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+              ".conf") {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(StaticDirectoryTest, LoadsConfigFile) {
+  TempFile file(
+      "# node  endpoint\n"
+      "0 10.0.0.1:4000\n"
+      "\n"
+      "1 10.0.0.2:4000   # trailing comment\n"
+      "60 192.168.1.9:30060\n");
+  auto directory = StaticDirectory::from_file(file.path());
+  ASSERT_TRUE(directory.has_value());
+  EXPECT_EQ(directory->size(), 3u);
+  UdpEndpoint out;
+  ASSERT_TRUE(directory->resolve(60, &out));
+  EXPECT_EQ(out, (UdpEndpoint{0xc0a80109, 30'060}));
+}
+
+TEST(StaticDirectoryTest, RejectsMalformedConfigFile) {
+  TempFile file("0 10.0.0.1:4000\n1 not-an-endpoint\n");
+  EXPECT_FALSE(StaticDirectory::from_file(file.path()).has_value());
+  EXPECT_FALSE(StaticDirectory::from_file("/nonexistent/path").has_value());
+}
+
+TEST(StaticDirectoryTest, RejectsTrailingGarbageLines) {
+  TempFile file("0 10.0.0.1:4000 extra\n");
+  EXPECT_FALSE(StaticDirectory::from_file(file.path()).has_value());
+}
+
+TEST(StaticDirectoryTest, RejectsNonNumericAndNegativeNodeIds) {
+  // A typo'd id must fail the whole load, not silently skip the entry
+  // (a half-loaded directory would misroute gossip at runtime).
+  TempFile bad_id("nodeA 10.0.0.1:4000\n");
+  EXPECT_FALSE(StaticDirectory::from_file(bad_id.path()).has_value());
+  TempFile negative("-1 10.0.0.1:4000\n");  // must not wrap to 0xffffffff
+  EXPECT_FALSE(StaticDirectory::from_file(negative.path()).has_value());
+  TempFile missing_endpoint("3\n");
+  EXPECT_FALSE(
+      StaticDirectory::from_file(missing_endpoint.path()).has_value());
+}
+
+}  // namespace
+}  // namespace agb::runtime

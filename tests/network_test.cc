@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
 namespace agb::sim {
@@ -265,6 +266,121 @@ TEST(SimNetworkTest, StatsCountSent) {
   f.sim.run();
   EXPECT_EQ(f.net.stats().sent, 5u);
   EXPECT_EQ(f.net.stats().delivered, 5u);
+}
+
+TEST(SymmetricLinkKeyTest, OrderInsensitive) {
+  EXPECT_EQ(symmetric_link_key(3, 9), symmetric_link_key(9, 3));
+  EXPECT_EQ(symmetric_link_key(9, 3), (std::pair<NodeId, NodeId>{3, 9}));
+  EXPECT_EQ(symmetric_link_key(4, 4), (std::pair<NodeId, NodeId>{4, 4}));
+}
+
+TEST(SimNetworkTest, SetLinkLatencyIsSymmetricInArgumentOrder) {
+  // set_link_latency(a, b) and set_link_latency(b, a) must address the SAME
+  // entry (the symmetric_link_key contract shared with partition()): the
+  // later call overwrites the earlier one, whichever order its arguments
+  // use, and the override applies in both directions.
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(1.0);
+  Fixture f(params);
+  f.attach(2);
+  f.attach(5);
+  f.net.set_link_latency(5, 2, LatencyModel::fixed(99.0));
+  f.net.set_link_latency(2, 5, LatencyModel::fixed(30.0));  // overwrites
+  f.net.send(make_datagram(2, 5));
+  f.net.send(make_datagram(5, 2));
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 2u);
+  EXPECT_EQ(f.received[0].second, 30);  // not 99: (2,5) == (5,2)
+  EXPECT_EQ(f.received[1].second, 30);  // and both directions see it
+}
+
+TEST(SimNetworkTest, PartitionIsSymmetricInArgumentOrder) {
+  Fixture f;
+  f.net.partition(7, 1);
+  EXPECT_TRUE(f.net.partitioned(1, 7));
+  f.net.heal(1, 7);  // reversed arguments heal the same pair
+  EXPECT_FALSE(f.net.partitioned(7, 1));
+}
+
+TEST(SimNetworkTest, BatchSharesOneSimulatorEventAtFixedLatency) {
+  NetworkParams params;
+  params.latency = LatencyModel::fixed(3.0);
+  Fixture f(params);
+  for (NodeId t = 1; t <= 5; ++t) f.attach(t);
+  f.net.send_batch(Multicast{0, {1, 2, 3, 4, 5}, {0xaa}});
+  EXPECT_EQ(f.net.stats().batches, 1u);
+  EXPECT_EQ(f.net.stats().sent, 5u);
+  EXPECT_EQ(f.net.stats().events_scheduled, 1u);  // F targets, ONE event
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 5u);
+  for (const auto& [node, at] : f.received) EXPECT_EQ(at, 3);
+}
+
+TEST(SimNetworkTest, BatchPayloadPointerIdentityAcrossTargets) {
+  Fixture f;
+  std::vector<const std::uint8_t*> seen;
+  for (NodeId t = 1; t <= 4; ++t) {
+    f.net.attach(t, [&](const Datagram& d, TimeMs) {
+      seen.push_back(d.payload.data());
+    });
+  }
+  const SharedBytes payload({1, 2, 3, 4});
+  f.net.send_batch(Multicast{0, {1, 2, 3, 4}, payload});
+  f.sim.run();
+  ASSERT_EQ(seen.size(), 4u);
+  for (const auto* data : seen) EXPECT_EQ(data, payload.data());
+}
+
+TEST(SimNetworkTest, BatchSamplesLossAndDelayPerTarget) {
+  // Loss stays a per-target coin flip: a 50% iid loss over a large batch
+  // drops roughly half, never all-or-nothing.
+  NetworkParams params;
+  params.loss = LossModel::iid(0.5);
+  Fixture f(params);
+  std::vector<NodeId> targets;
+  for (NodeId t = 1; t <= 200; ++t) {
+    f.attach(t);
+    targets.push_back(t);
+  }
+  f.net.send_batch(Multicast{0, targets, {0x01}});
+  f.sim.run();
+  const auto& stats = f.net.stats();
+  EXPECT_EQ(stats.sent, 200u);
+  EXPECT_EQ(stats.delivered + stats.dropped_loss, 200u);
+  EXPECT_GT(stats.delivered, 50u);
+  EXPECT_GT(stats.dropped_loss, 50u);
+}
+
+TEST(SimNetworkTest, BatchChecksPartitionAndDownPerTarget) {
+  Fixture f;
+  for (NodeId t = 1; t <= 3; ++t) f.attach(t);
+  f.net.partition(0, 1);
+  f.net.set_node_up(2, false);
+  f.net.send_batch(Multicast{0, {1, 2, 3}, {0x01}});
+  f.sim.run();
+  ASSERT_EQ(f.received.size(), 1u);  // only node 3
+  EXPECT_EQ(f.received[0].first, 3u);
+  EXPECT_EQ(f.net.stats().dropped_partition, 1u);
+  EXPECT_EQ(f.net.stats().dropped_down, 1u);
+}
+
+TEST(SimNetworkTest, BatchDistinctDelaysGetDistinctEvents) {
+  NetworkParams params;
+  params.latency = LatencyModel::uniform(1.0, 200.0);
+  Fixture f(params);
+  std::vector<NodeId> targets;
+  for (NodeId t = 1; t <= 10; ++t) {
+    f.attach(t);
+    targets.push_back(t);
+  }
+  f.net.send_batch(Multicast{0, targets, {0x01}});
+  f.sim.run();
+  EXPECT_EQ(f.received.size(), 10u);
+  // Same-delay targets coalesce; distinct delays must not.
+  std::set<TimeMs> distinct_times;
+  for (const auto& [node, at] : f.received) distinct_times.insert(at);
+  EXPECT_EQ(f.net.stats().events_scheduled, distinct_times.size());
+  EXPECT_GT(distinct_times.size(), 1u);
 }
 
 }  // namespace

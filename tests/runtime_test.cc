@@ -3,6 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -130,6 +132,56 @@ TEST(InMemoryFabricTest, DetachWaitsOutInFlightHandler) {
   state.reset();  // safe: no handler can reference it anymore
   fabric.send(Datagram{0, 1, {1}});  // dropped, handler gone
   EXPECT_TRUE(eventually([&] { return fabric.dropped() >= 1; }));
+}
+
+TEST(InMemoryFabricTest, BatchDeliversAllTargetsUnderOneLockAcquisition) {
+  InMemoryFabric fabric({});
+  std::atomic<int> received{0};
+  for (NodeId t = 1; t <= 5; ++t) {
+    fabric.attach(t, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  }
+  fabric.send_batch(Multicast{0, {1, 2, 3, 4, 5}, {0x42}});
+  EXPECT_EQ(fabric.send_lock_acquisitions(), 1u);  // F targets, ONE lock
+  EXPECT_TRUE(eventually([&] { return received.load() == 5; }));
+  EXPECT_EQ(fabric.delivered(), 5u);
+}
+
+TEST(InMemoryFabricTest, BatchPayloadPointerIdentityAcrossTargets) {
+  InMemoryFabric fabric({});
+  std::mutex mu;
+  std::vector<const std::uint8_t*> seen;
+  for (NodeId t = 1; t <= 4; ++t) {
+    fabric.attach(t, [&](const Datagram& d, TimeMs) {
+      std::lock_guard lock(mu);
+      seen.push_back(d.payload.data());
+    });
+  }
+  const SharedBytes payload({9, 9, 9});
+  fabric.send_batch(Multicast{0, {1, 2, 3, 4}, payload});
+  EXPECT_TRUE(eventually([&] {
+    std::lock_guard lock(mu);
+    return seen.size() == 4u;
+  }));
+  std::lock_guard lock(mu);
+  for (const auto* data : seen) EXPECT_EQ(data, payload.data());
+}
+
+TEST(InMemoryFabricTest, BatchSamplesLossPerTarget) {
+  InMemoryFabric::Params params;
+  params.loss_probability = 0.5;
+  InMemoryFabric fabric(params);
+  std::atomic<int> received{0};
+  std::vector<NodeId> targets;
+  for (NodeId t = 1; t <= 200; ++t) {
+    fabric.attach(t, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+    targets.push_back(t);
+  }
+  fabric.send_batch(Multicast{0, targets, {0x01}});
+  EXPECT_TRUE(eventually([&] {
+    return received.load() + static_cast<int>(fabric.dropped()) == 200;
+  }));
+  EXPECT_GT(received.load(), 50);
+  EXPECT_GT(fabric.dropped(), 50u);
 }
 
 TEST(InMemoryFabricTest, ClockIsMonotone) {
@@ -293,6 +345,89 @@ TEST(UdpTransportTest, SendWithoutAttachedSourceFails) {
   UdpTransport transport(28'600);
   transport.send(Datagram{5, 6, {1}});
   EXPECT_EQ(transport.send_failures(), 1u);
+}
+
+TEST(UdpTransportTest, BatchFanOutIsOneSyscall) {
+  UdpTransport transport(28'800);
+  std::atomic<int> received{0};
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  for (NodeId t = 1; t <= 5; ++t) {
+    transport.attach(t, [&](const Datagram& d, TimeMs) {
+      if (d.from == 0 && d.payload == std::vector<std::uint8_t>{0x5a}) {
+        received.fetch_add(1);
+      }
+    });
+  }
+  transport.send_batch(Multicast{0, {1, 2, 3, 4, 5}, {0x5a}});
+#if defined(__linux__)
+  EXPECT_EQ(transport.send_syscalls(), 1u);  // the whole fan-out, batched
+#else
+  EXPECT_EQ(transport.send_syscalls(), 5u);
+#endif
+  EXPECT_TRUE(eventually([&] { return received.load() == 5; }));
+  EXPECT_EQ(transport.send_failures(), 0u);
+  for (NodeId t = 0; t <= 5; ++t) transport.detach(t);
+}
+
+TEST(UdpTransportTest, BatchSendMakesNoPayloadCopies) {
+  // The transport hands the SharedBytes straight to the kernel via the
+  // shared iovec: after send_batch returns it holds no reference and never
+  // cloned the buffer.
+  UdpTransport transport(28'900);
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  for (NodeId t = 1; t <= 3; ++t) {
+    transport.attach(t, [](const Datagram&, TimeMs) {});
+  }
+  const SharedBytes payload({1, 2, 3, 4, 5});
+  const std::uint8_t* data_before = payload.data();
+  transport.send_batch(Multicast{0, {1, 2, 3}, payload});
+  EXPECT_EQ(payload.use_count(), 1);
+  EXPECT_EQ(payload.data(), data_before);
+  for (NodeId t = 0; t <= 3; ++t) transport.detach(t);
+}
+
+TEST(UdpTransportTest, BatchCountsUnresolvableTargetsAsFailures) {
+  auto directory = std::make_shared<StaticDirectory>();
+  ASSERT_TRUE(directory->add_spec(0, "127.0.0.1:29000"));
+  ASSERT_TRUE(directory->add_spec(1, "127.0.0.1:29001"));
+  UdpTransport transport(directory);
+  std::atomic<int> received{0};
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.attach(1, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  transport.send_batch(Multicast{0, {1, 77, 78}, {0x11}});
+  EXPECT_TRUE(eventually([&] { return received.load() == 1; }));
+  EXPECT_EQ(transport.send_failures(), 2u);  // 77 and 78 have no entry
+  transport.detach(0);
+  transport.detach(1);
+}
+
+TEST(UdpTransportTest, StaticDirectoryRoundTrip) {
+  // A non-contiguous port layout no base+id scheme could produce — the
+  // directory, not the transport, owns addressing now.
+  auto directory = std::make_shared<StaticDirectory>();
+  ASSERT_TRUE(directory->add_spec(3, "127.0.0.1:29050"));
+  ASSERT_TRUE(directory->add_spec(9, "127.0.0.1:29061"));
+  UdpTransport transport(directory);
+  std::atomic<bool> got{false};
+  Datagram seen;
+  transport.attach(9, [&](const Datagram& d, TimeMs) {
+    seen = d;
+    got.store(true);
+  });
+  transport.attach(3, [](const Datagram&, TimeMs) {});
+  transport.send(Datagram{3, 9, {0xcd}});
+  ASSERT_TRUE(eventually([&] { return got.load(); }));
+  EXPECT_EQ(seen.from, 3u);
+  EXPECT_EQ(seen.to, 9u);
+  EXPECT_EQ(seen.payload, (std::vector<std::uint8_t>{0xcd}));
+  transport.detach(3);
+  transport.detach(9);
+}
+
+TEST(UdpTransportTest, AttachWithoutDirectoryEntryThrows) {
+  UdpTransport transport(std::make_shared<StaticDirectory>());
+  EXPECT_THROW(transport.attach(4, [](const Datagram&, TimeMs) {}),
+               std::runtime_error);
 }
 
 TEST(UdpTransportTest, GossipGroupOverRealSockets) {

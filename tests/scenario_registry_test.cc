@@ -205,6 +205,41 @@ TEST(SpecParserTest, ScheduleSpecs) {
   EXPECT_FALSE(parse_failure_spec("60000:3:sideways", &failures));
 }
 
+TEST(SpecParserTest, SweepSpecs) {
+  SweepSpec sweep;
+  ASSERT_TRUE(parse_sweep_spec("rate:10:60:10", &sweep));
+  EXPECT_EQ(sweep.axis, "rate");
+  EXPECT_EQ(sweep.values(), (std::vector<double>{10, 20, 30, 40, 50, 60}));
+
+  // The hi bound is inclusive even when float steps accumulate error.
+  ASSERT_TRUE(parse_sweep_spec("loss:0:0.3:0.1", &sweep));
+  ASSERT_EQ(sweep.values().size(), 4u);
+  EXPECT_NEAR(sweep.values().back(), 0.3, 1e-9);
+
+  // A single-point sweep is legal (lo == hi).
+  ASSERT_TRUE(parse_sweep_spec("buffer:120:120:30", &sweep));
+  EXPECT_EQ(sweep.values(), std::vector<double>{120});
+
+  for (const char* bad :
+       {"", "rate", "rate:10", "rate:10:60", "rate:10:60:0",
+        "rate:10:60:-5", "rate:60:10:10", ":10:60:10", "rate:a:60:10"}) {
+    EXPECT_FALSE(parse_sweep_spec(bad, &sweep)) << bad;
+  }
+}
+
+TEST(SweepTest, AxisValueRebuildsThePreset) {
+  // The sweep loop's contract: setting the axis key on a fresh cfg copy
+  // rebuilds the preset with only that value changed.
+  auto cfg = config_of({"quick=1"});
+  for (double buffer : SweepSpec{"buffer", 30, 90, 30}.values()) {
+    Config run_cfg = cfg;
+    run_cfg.set("buffer", std::to_string(static_cast<int>(buffer)));
+    auto p = ScenarioRegistry::instance().build("fig4", run_cfg);
+    EXPECT_EQ(p.gossip.max_events, static_cast<std::size_t>(buffer));
+    EXPECT_EQ(p.n, 60u);  // everything else stays the preset default
+  }
+}
+
 TEST(ScenarioTopologyTest, WanClustersRunsAndDeliversAcrossIslands) {
   // A small end-to-end run through the preset machinery: the WAN topology
   // must still disseminate to (nearly) everyone, it is just slower.

@@ -9,6 +9,14 @@
 //   agb_sim scenario=burst-loss n=120 duration_s=300
 //   agb_sim n=100 rate=40 adaptive=1 buffer=80 loss=0.05   # paper60 base
 //
+// sweep=<axis>:<lo>:<hi>:<step> reruns the preset once per axis value and
+// prints one summary row per run — the registry-driven replacement for the
+// hand-rolled per-figure sweep loops:
+//   agb_sim scenario=fig2 sweep=rate:10:60:10 quick=1      # fig2's rate axis
+//   agb_sim scenario=fig4 sweep=buffer:30:180:30           # fig4's buffer axis
+// Any numeric key works as the axis; other overrides apply to every run.
+// With csv=prefix the same rows land in <prefix>_sweep.csv.
+//
 // Keys (defaults in parentheses; presets change some of them — see
 // src/core/scenario_registry.cc):
 //   scenario(paper60) quick(0)
@@ -28,6 +36,7 @@
 //   csv=prefix   (writes <prefix>_series.csv)
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -35,7 +44,82 @@
 #include "common/config.h"
 #include "core/scenario.h"
 #include "core/scenario_registry.h"
+#include "metrics/table.h"
 #include "metrics/timeseries.h"
+
+namespace {
+
+/// Formats an axis value the way a user would type it: integral values
+/// without a decimal point, so integer keys (n, buffer, fanout) parse.
+std::string format_axis_value(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+/// Runs the preset once per axis value and prints one row per run.
+int run_sweep(const agb::core::ScenarioPreset& preset, const agb::Config& cfg,
+              const agb::core::SweepSpec& sweep,
+              const std::string& csv_prefix) {
+  using namespace agb;
+  const std::vector<std::string> columns{
+      sweep.axis,     "input_msg_s",   "output_msg_s", "atomic_pct",
+      "avg_recv_pct", "drop_age_hops", "ovf_drops"};
+  metrics::Table table(columns);
+  std::vector<std::vector<double>> rows;
+  for (double value : sweep.values()) {
+    Config run_cfg = cfg;  // fresh copy: the axis override must not stick
+    run_cfg.set(sweep.axis, format_axis_value(value));
+    core::ScenarioParams params;
+    try {
+      params = preset.build(run_cfg);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "agb_sim: %s\n", e.what());
+      return 2;
+    }
+    if (rows.empty()) {  // typo detection once, on the first resolved run
+      for (const auto& key : run_cfg.unused_keys()) {
+        std::fprintf(stderr, "agb_sim: warning: unknown key '%s'\n",
+                     key.c_str());
+      }
+    }
+    core::Scenario scenario(params);
+    auto r = scenario.run();
+    rows.push_back({value, r.input_rate, r.output_rate,
+                    r.delivery.atomicity_pct, r.delivery.avg_receiver_pct,
+                    r.avg_drop_age, static_cast<double>(r.overflow_drops)});
+    table.add_numeric_row(rows.back(), 2);
+  }
+  std::printf("sweep            : %s over %s [%s..%s step %s]\n",
+              preset.name.c_str(), sweep.axis.c_str(),
+              format_axis_value(sweep.lo).c_str(),
+              format_axis_value(sweep.hi).c_str(),
+              format_axis_value(sweep.step).c_str());
+  table.print(std::cout);
+  if (!csv_prefix.empty()) {
+    const std::string path = csv_prefix + "_sweep.csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "agb_sim: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      out << (i ? "," : "") << columns[i];
+    }
+    out << "\n";
+    for (const auto& row : rows) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        out << (i ? "," : "") << metrics::fmt(row[i], 4);
+      }
+      out << "\n";
+    }
+    std::printf("csv              : %s (%zu rows)\n", path.c_str(),
+                rows.size());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace agb;
@@ -65,6 +149,19 @@ int main(int argc, char** argv) {
                  name.c_str());
     return 2;
   }
+
+  if (auto sweep_raw = cfg.raw("sweep")) {
+    core::SweepSpec sweep;
+    if (!core::parse_sweep_spec(*sweep_raw, &sweep)) {
+      std::fprintf(stderr,
+                   "agb_sim: bad sweep spec '%s' (want axis:lo:hi:step, "
+                   "step > 0, hi >= lo)\n",
+                   sweep_raw->c_str());
+      return 2;
+    }
+    return run_sweep(*preset, cfg, sweep, cfg.get_string("csv", ""));
+  }
+
   core::ScenarioParams p;
   try {
     p = preset->build(cfg);
