@@ -10,6 +10,9 @@
 #include "core/scenario.h"
 #include "gossip/event_buffer.h"
 #include "gossip/message.h"
+#include "membership/cluster_map.h"
+#include "membership/full_membership.h"
+#include "membership/locality_view.h"
 #include "runtime/inmemory_fabric.h"
 #include "runtime/udp_transport.h"
 #include "sim/network.h"
@@ -294,6 +297,41 @@ void BM_RngSampleIndices(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngSampleIndices);
+
+// Target selection on the per-round hot path: uniform sampling from a full
+// directory vs the locality-biased decorator (snapshot + cluster
+// partition + bridge election every call, the price of staying correct
+// under churn). Arg is the group size.
+
+std::unique_ptr<membership::FullMembership> bench_directory(
+    std::size_t group) {
+  auto members = std::make_unique<membership::FullMembership>(0, Rng(3));
+  for (NodeId id = 1; id < group; ++id) members->add(id);
+  return members;
+}
+
+void BM_UniformTargets(benchmark::State& state) {
+  auto members = bench_directory(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto targets = members->targets(4);
+    benchmark::DoNotOptimize(targets);
+  }
+}
+BENCHMARK(BM_UniformTargets)->Arg(60)->Arg(300);
+
+void BM_LocalityTargets(benchmark::State& state) {
+  membership::LocalityParams params;
+  params.enabled = true;
+  params.p_local = 0.9;
+  membership::LocalityView view(
+      0, params, std::make_shared<membership::ModuloClusterMap>(3),
+      bench_directory(static_cast<std::size_t>(state.range(0))), Rng(4));
+  for (auto _ : state) {
+    auto targets = view.targets(4);
+    benchmark::DoNotOptimize(targets);
+  }
+}
+BENCHMARK(BM_LocalityTargets)->Arg(60)->Arg(300);
 
 void BM_SimulatedSecond(benchmark::State& state) {
   // Cost of one virtual second of the full 60-node simulation, codec and

@@ -48,6 +48,13 @@ bool Scenario::in_eval_window(TimeMs t) const {
 
 void Scenario::build_nodes() {
   nodes_.reserve(params_.n);
+  // One shared cluster map: the same modulo rule SimNetwork prices links
+  // with, so the membership layer and the network agree on the topology.
+  std::shared_ptr<const membership::ClusterMap> cluster_map;
+  if (params_.locality.enabled) {
+    cluster_map = std::make_shared<membership::ModuloClusterMap>(
+        params_.network.clusters);
+  }
   for (std::size_t i = 0; i < params_.n; ++i) {
     const auto id = static_cast<NodeId>(i);
 
@@ -70,6 +77,12 @@ void Scenario::build_nodes() {
         if (j != i) full->add(static_cast<NodeId>(j));
       }
       view = std::move(full);
+    }
+
+    if (params_.locality.enabled) {
+      view = std::make_unique<membership::LocalityView>(
+          id, params_.locality, cluster_map, std::move(view),
+          master_rng_.split());
     }
 
     std::unique_ptr<gossip::LpbcastNode> node;
@@ -239,8 +252,20 @@ void Scenario::start_sampler() {
 
 void Scenario::apply_failure_schedule() {
   for (const FailureEvent& event : params_.failure_schedule) {
-    sim_.at(event.at,
-            [this, event] { net_->set_node_up(event.node, event.up); });
+    sim_.at(event.at, [this, event] {
+      net_->set_node_up(event.node, event.up);
+      if (!params_.failure_detector) return;
+      // Perfect failure detection: the survivors' views learn the change
+      // at once, so locality bridge election reacts within one round.
+      for (auto& node : nodes_) {
+        if (node->id() == event.node) continue;
+        if (event.up) {
+          node->membership().add(event.node);
+        } else {
+          node->membership().remove(event.node);
+        }
+      }
+    });
   }
 }
 

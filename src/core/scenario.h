@@ -23,6 +23,7 @@
 #include "common/types.h"
 #include "gossip/lpbcast_node.h"
 #include "gossip/params.h"
+#include "membership/locality_view.h"
 #include "membership/partial_view.h"
 #include "metrics/delivery_tracker.h"
 #include "metrics/timeseries.h"
@@ -70,6 +71,19 @@ struct ScenarioParams {
   /// Use lpbcast partial views instead of a full directory.
   bool partial_view = false;
   membership::PartialViewParams view_params;
+
+  /// Locality-aware target selection (directional gossip, paper §5): when
+  /// locality.enabled, every node's membership is wrapped in a
+  /// membership::LocalityView fed by the network's cluster rule, so
+  /// targets stay same-cluster with probability p_local and cross-cluster
+  /// slots route through per-cluster bridge nodes.
+  membership::LocalityParams locality;
+
+  /// When true, every FailureEvent also updates all nodes' membership
+  /// views (remove on crash, add on recover) — a perfect failure detector,
+  /// so locality bridges re-elect mid-run instead of cross traffic dying
+  /// with a crashed bridge.
+  bool failure_detector = false;
 
   /// Latency/loss models and the WAN cluster topology (network.clusters,
   /// network.wan_latency) live here — the cluster rule is evaluated per

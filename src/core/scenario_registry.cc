@@ -21,6 +21,24 @@ std::vector<std::string> split(const std::string& text, char sep) {
                               "'");
 }
 
+/// Plain Levenshtein distance; preset names are short, so the quadratic
+/// table is microscopic.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
 /// The calibrated paper60 configuration: 60 nodes, fanout 4, 2 s gossip
 /// period — the period at which this substrate's capacity knee lands at the
 /// paper's buffer-size axis (~120 events at 30 msg/s; see EXPERIMENTS.md).
@@ -123,6 +141,48 @@ ScenarioParams build_wan_clusters(const Config& cfg) {
   p.network.clusters = 3;
   p.network.wan_latency = sim::LatencyModel::uniform(20.0, 60.0);
   return params_from_config(cfg, p);
+}
+
+ScenarioParams build_wan_directional(const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  // The same three-island topology as wan-clusters, but target selection
+  // is locality-biased: 90 % of the fanout stays on the local island and
+  // the rest goes through the remote clusters' bridges — the paper §5
+  // directional result (same delivery, a fraction of the WAN datagrams).
+  // Funnelling adds dissemination rounds, so the calibration grants a
+  // longer age limit and two bridges per island: at these defaults the
+  // preset lands within half a point of uniform wan-clusters' delivery
+  // while cutting the cross-WAN share ~67 % -> ~10 %.
+  p.network.clusters = 3;
+  p.network.wan_latency = sim::LatencyModel::uniform(20.0, 60.0);
+  p.gossip.max_age = 20;
+  p.locality.enabled = true;
+  p.locality.p_local = 0.9;
+  p.locality.bridges_per_cluster = 2;
+  return params_from_config(cfg, p);
+}
+
+ScenarioParams build_wan_directional_churn(const Config& cfg) {
+  auto p = build_wan_directional(cfg);
+  // Crash elected bridges, one island at a time. Under the modulo cluster
+  // rule the first bridge of cluster c is node c (its lowest id); with
+  // the failure detector on, every crash promotes the next-lowest id and
+  // cross-cluster traffic reroutes.
+  p.failure_detector = cfg.get_bool("failure_detector", true);
+  if (!cfg.raw("failures")) {
+    const DurationMs every = cfg.get_int("churn_every_s", 30) * 1000;
+    const DurationMs down_for = cfg.get_int("churn_down_s", 20) * 1000;
+    const auto count =
+        static_cast<std::size_t>(cfg.get_int("churn_count", 3));
+    const std::size_t clusters = std::max<std::size_t>(p.network.clusters, 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto bridge = static_cast<NodeId>(i % clusters);
+      const TimeMs at = p.warmup + static_cast<TimeMs>(i) * every;
+      p.failure_schedule.push_back({at, bridge, /*up=*/false});
+      p.failure_schedule.push_back({at + down_for, bridge, /*up=*/true});
+    }
+  }
+  return p;
 }
 
 ScenarioParams build_semantic_streams(const Config& cfg) {
@@ -339,6 +399,12 @@ ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
 
   p.network.clusters = static_cast<std::size_t>(cfg.get_int(
       "clusters", static_cast<std::int64_t>(p.network.clusters)));
+  p.locality.enabled = cfg.get_bool("locality", p.locality.enabled);
+  p.locality.p_local = cfg.get_double("p_local", p.locality.p_local);
+  p.locality.bridges_per_cluster = static_cast<std::size_t>(cfg.get_int(
+      "bridges_per_cluster",
+      static_cast<std::int64_t>(p.locality.bridges_per_cluster)));
+  p.failure_detector = cfg.get_bool("failure_detector", p.failure_detector);
   if (auto spec = cfg.raw("latency")) {
     if (!parse_latency_spec(*spec, &p.network.latency)) {
       die_bad_spec("latency", *spec);
@@ -392,6 +458,12 @@ ScenarioRegistry::ScenarioRegistry() {
        build_burst_loss});
   add({"wan-clusters", "three LAN islands joined by 20-60 ms WAN links",
        build_wan_clusters});
+  add({"wan-directional",
+       "wan-clusters with locality-biased targets and bridge nodes",
+       build_wan_directional});
+  add({"wan-directional-churn",
+       "wan-directional with the elected bridges crashing in turn",
+       build_wan_directional_churn});
   add({"semantic-streams", "supersede-heavy streams with semantic purging",
        build_semantic_streams});
 }
@@ -413,18 +485,56 @@ const ScenarioPreset* ScenarioRegistry::find(std::string_view name) const {
   return nullptr;
 }
 
+std::vector<std::string> ScenarioRegistry::suggest(
+    std::string_view name) const {
+  // Plausibly-close: within a third of the typed name in edits (at least
+  // 2, so short typos still match), or a containment either way (a
+  // truncated or over-qualified name).
+  const std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+  std::vector<std::pair<std::size_t, std::string>> ranked;
+  for (const auto& preset : presets_) {
+    const std::size_t distance = edit_distance(name, preset.name);
+    const bool contained =
+        !name.empty() && (preset.name.find(name) != std::string::npos ||
+                          name.find(preset.name) != std::string_view::npos);
+    if (distance <= budget || contained) {
+      ranked.emplace_back(distance, preset.name);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<std::string> out;
+  out.reserve(ranked.size());
+  for (auto& entry : ranked) out.push_back(std::move(entry.second));
+  return out;
+}
+
+std::string ScenarioRegistry::unknown_name_message(
+    std::string_view name) const {
+  std::string message = "unknown scenario preset '";
+  message.append(name);
+  message += '\'';
+  const auto close = suggest(name);
+  if (!close.empty()) {
+    message += "; did you mean:";
+    for (const auto& candidate : close) {
+      message += ' ';
+      message += candidate;
+    }
+    message += '?';
+  }
+  message += " known:";
+  for (const auto* known : presets()) {
+    message += ' ';
+    message += known->name;
+  }
+  return message;
+}
+
 ScenarioParams ScenarioRegistry::build(std::string_view name,
                                        const Config& cfg) const {
   const ScenarioPreset* preset = find(name);
   if (preset == nullptr) {
-    std::string message = "unknown scenario preset '";
-    message.append(name);
-    message += "'; known:";
-    for (const auto* known : presets()) {
-      message += ' ';
-      message += known->name;
-    }
-    throw std::invalid_argument(message);
+    throw std::invalid_argument(unknown_name_message(name));
   }
   return preset->build(cfg);
 }

@@ -19,6 +19,8 @@
 //   churn            — rolling crash/recover of group members
 //   burst-loss       — Gilbert-Elliott bursty loss + pull repair
 //   wan-clusters     — three LAN islands joined by slow WAN links
+//   wan-directional  — wan-clusters with locality-biased targets + bridges
+//   wan-directional-churn — wan-directional with bridges crashing in turn
 //   semantic-streams — supersede-heavy streams with semantic purging
 #pragma once
 
@@ -56,12 +58,23 @@ class ScenarioRegistry {
   [[nodiscard]] const ScenarioPreset* find(std::string_view name) const;
 
   /// Builds `name` with `cfg` overrides. Throws std::invalid_argument
-  /// (listing the known presets) for an unknown name, and propagates the
-  /// std::invalid_argument thrown for malformed spec values; tools catch
-  /// and translate to exit codes, embedders handle it like any input
-  /// error.
+  /// (with a "did you mean" hint and the known presets) for an unknown
+  /// name, and propagates the std::invalid_argument thrown for malformed
+  /// spec values; tools catch and translate to exit codes, embedders
+  /// handle it like any input error.
   [[nodiscard]] ScenarioParams build(std::string_view name,
                                      const Config& cfg) const;
+
+  /// Preset names close to `name` (small edit distance or one containing
+  /// the other), best match first — the "did you mean" list behind
+  /// unknown_name_message(). Empty when nothing is plausibly close.
+  [[nodiscard]] std::vector<std::string> suggest(std::string_view name) const;
+
+  /// The full diagnostic for a name find() rejected: "did you mean" with
+  /// suggest()'s hits (when any) plus the known-preset list. build()
+  /// throws exactly this text; tools print it verbatim, so the two paths
+  /// can't drift apart.
+  [[nodiscard]] std::string unknown_name_message(std::string_view name) const;
 
   /// All presets, sorted by name.
   [[nodiscard]] std::vector<const ScenarioPreset*> presets() const;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "membership/locality_view.h"
+
 namespace agb::gossip {
 
 LpbcastNode::LpbcastNode(NodeId self, GossipParams params,
@@ -12,7 +14,14 @@ LpbcastNode::LpbcastNode(NodeId self, GossipParams params,
       membership_(std::move(membership)),
       rng_(rng),
       event_ids_(params.max_event_ids) {
-  partial_view_ = dynamic_cast<membership::PartialView*>(membership_.get());
+  // Digest exchange binds to the PartialView even when it sits under a
+  // LocalityView decorator: locality only biases *targets*, the subs/unsubs
+  // traffic must keep flowing through the wrapped view.
+  membership::Membership* base = membership_.get();
+  if (auto* locality = dynamic_cast<membership::LocalityView*>(base)) {
+    base = &locality->inner();
+  }
+  partial_view_ = dynamic_cast<membership::PartialView*>(base);
 }
 
 void LpbcastNode::set_max_events(std::size_t max_events, TimeMs now) {

@@ -61,8 +61,9 @@ class LpbcastNode {
   using DropFn =
       std::function<void(const Event& event, DropReason reason, TimeMs now)>;
 
-  /// `membership` decides gossip targets (full directory or partial view);
-  /// if it is a membership::PartialView, subs/unsubs digests are exchanged.
+  /// `membership` decides gossip targets (full directory or partial view,
+  /// optionally under a membership::LocalityView decorator); if it is — or
+  /// wraps — a membership::PartialView, subs/unsubs digests are exchanged.
   LpbcastNode(NodeId self, GossipParams params,
               std::unique_ptr<membership::Membership> membership, Rng rng);
   virtual ~LpbcastNode() = default;

@@ -1,0 +1,69 @@
+// NodeId → cluster assignment, the topology knowledge behind locality-aware
+// gossip (the directional setting of paper §5).
+//
+// A ClusterMap answers one question — which LAN island does a node live
+// on? — and deliberately knows nothing about liveness or membership; those
+// stay with the Membership implementations. Two sources feed it:
+// ModuloClusterMap mirrors sim::NetworkParams.clusters (node i lives in
+// cluster i % clusters, the same O(1) rule SimNetwork prices links with),
+// and TableClusterMap carries an explicit assignment, e.g. built from
+// runtime::EndpointDirectory host grouping (nodes sharing a host share a
+// cluster).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace agb::membership {
+
+/// Identifies one LAN island. Dense, starting at zero.
+using ClusterId = std::uint32_t;
+
+/// Sentinel for "no known cluster" (e.g. a node missing from a table).
+inline constexpr ClusterId kUnknownCluster = 0xffffffffu;
+
+class ClusterMap {
+ public:
+  virtual ~ClusterMap() = default;
+
+  [[nodiscard]] virtual ClusterId cluster_of(NodeId node) const = 0;
+};
+
+/// The simulation rule: node i belongs to cluster i % clusters (one flat
+/// cluster when clusters <= 1). Matches sim::NetworkParams, so a
+/// LocalityView fed by this map agrees with SimNetwork about which links
+/// are WAN links.
+class ModuloClusterMap final : public ClusterMap {
+ public:
+  explicit ModuloClusterMap(std::size_t clusters) : clusters_(clusters) {}
+
+  [[nodiscard]] ClusterId cluster_of(NodeId node) const override {
+    if (clusters_ <= 1) return 0;
+    return static_cast<ClusterId>(node % clusters_);
+  }
+
+ private:
+  std::size_t clusters_;
+};
+
+/// An explicit NodeId → ClusterId table; unknown nodes map to
+/// kUnknownCluster (a LocalityView treats them as one shared remote
+/// island). Built in code or by runtime::cluster_map_from_directory.
+class TableClusterMap final : public ClusterMap {
+ public:
+  void assign(NodeId node, ClusterId cluster) { table_[node] = cluster; }
+
+  [[nodiscard]] ClusterId cluster_of(NodeId node) const override {
+    auto it = table_.find(node);
+    return it == table_.end() ? kUnknownCluster : it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  std::unordered_map<NodeId, ClusterId> table_;
+};
+
+}  // namespace agb::membership

@@ -1,0 +1,84 @@
+#include "membership/locality_view.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace agb::membership {
+
+LocalityView::LocalityView(NodeId self, LocalityParams params,
+                           std::shared_ptr<const ClusterMap> clusters,
+                           std::unique_ptr<Membership> inner, Rng rng)
+    : self_(self),
+      params_(params),
+      clusters_(std::move(clusters)),
+      inner_(std::move(inner)),
+      rng_(rng),
+      home_(clusters_->cluster_of(self)) {}
+
+void LocalityView::rebuild_pools() {
+  local_pool_.clear();
+  bridge_pool_.clear();
+
+  auto peers = inner_->snapshot();
+  // The Membership contract leaves snapshot order open; bridge election is
+  // "lowest ids per cluster", so pin the order here.
+  std::sort(peers.begin(), peers.end());
+
+  std::unordered_map<ClusterId, std::size_t> bridges_taken;
+  for (NodeId peer : peers) {
+    const ClusterId cluster = clusters_->cluster_of(peer);
+    if (cluster == home_) {
+      local_pool_.push_back(peer);
+      continue;
+    }
+    // Ascending iteration makes "the first bridges_per_cluster seen" the
+    // lowest ids of that cluster.
+    if (bridges_taken[cluster] < params_.bridges_per_cluster) {
+      ++bridges_taken[cluster];
+      bridge_pool_.push_back(peer);
+    }
+  }
+}
+
+std::vector<NodeId> LocalityView::targets(std::size_t fanout) {
+  rebuild_pools();
+
+  std::vector<NodeId> out;
+  out.reserve(std::min(fanout, local_pool_.size() + bridge_pool_.size()));
+  for (std::size_t slot = 0; slot < fanout; ++slot) {
+    if (local_pool_.empty() && bridge_pool_.empty()) break;
+    bool pick_local;
+    if (bridge_pool_.empty()) {
+      pick_local = true;
+    } else if (local_pool_.empty()) {
+      pick_local = false;
+    } else {
+      pick_local = rng_.bernoulli(params_.p_local);
+    }
+    // Swap-remove keeps the targets of one round distinct without
+    // re-sampling; pools never contain the owner, so neither does out.
+    auto& pool = pick_local ? local_pool_ : bridge_pool_;
+    const auto idx = static_cast<std::size_t>(rng_.next_below(pool.size()));
+    out.push_back(pool[idx]);
+    pool[idx] = pool.back();
+    pool.pop_back();
+  }
+  return out;
+}
+
+std::vector<NodeId> LocalityView::bridges_of(ClusterId cluster) const {
+  std::vector<NodeId> members;
+  for (NodeId peer : inner_->snapshot()) {
+    if (clusters_->cluster_of(peer) == cluster) members.push_back(peer);
+  }
+  // The owner is a member of its home cluster too and takes part in its
+  // own election (everyone must agree on who bridges each island).
+  if (cluster == home_) members.push_back(self_);
+  std::sort(members.begin(), members.end());
+  if (members.size() > params_.bridges_per_cluster) {
+    members.resize(params_.bridges_per_cluster);
+  }
+  return members;
+}
+
+}  // namespace agb::membership

@@ -1,0 +1,96 @@
+// Locality-aware target selection: a Membership decorator that biases
+// gossip towards the owner's own cluster and funnels the cross-cluster
+// share through per-cluster bridge nodes (directional gossip, paper §5).
+//
+// LocalityView wraps any Membership (full directory or lpbcast partial
+// view) and re-implements only targets(): each fanout slot picks a
+// same-cluster peer with probability p_local, otherwise one of the remote
+// clusters' bridges. Bridges are elected deterministically — the lowest
+// `bridges_per_cluster` NodeIds currently known per cluster — so every
+// node that shares the same membership knowledge agrees on them without
+// any coordination, and the election self-heals on churn: when the
+// membership layer learns a bridge left, the next-lowest id takes over on
+// the very next round. Everything else (add/remove/contains/size/
+// snapshot) forwards to the wrapped view, so the lpbcast subs/unsubs
+// machinery keeps working underneath.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "membership/cluster_map.h"
+#include "membership/membership.h"
+
+namespace agb::membership {
+
+struct LocalityParams {
+  /// Master switch, carried here so one struct travels through configs.
+  bool enabled = false;
+  /// Probability that a fanout slot stays inside the owner's cluster.
+  double p_local = 0.85;
+  /// How many bridges (lowest known NodeIds) each remote cluster exposes.
+  std::size_t bridges_per_cluster = 1;
+};
+
+class LocalityView final : public Membership {
+ public:
+  /// Wraps `inner`; `clusters` says where every node lives, `self` fixes
+  /// the home cluster. `rng` drives the biased selection (and nothing
+  /// else), so seeded runs stay deterministic.
+  LocalityView(NodeId self, LocalityParams params,
+               std::shared_ptr<const ClusterMap> clusters,
+               std::unique_ptr<Membership> inner, Rng rng);
+
+  /// Biased selection. Targets are distinct and never the owner; slots
+  /// whose preferred pool is empty fall back to the other one (an
+  /// all-local island still reaches remote clusters, and a node with no
+  /// local peers gossips through bridges only).
+  std::vector<NodeId> targets(std::size_t fanout) override;
+
+  void add(NodeId node) override { inner_->add(node); }
+  void remove(NodeId node) override { inner_->remove(node); }
+  [[nodiscard]] bool contains(NodeId node) const override {
+    return inner_->contains(node);
+  }
+  [[nodiscard]] std::size_t size() const override { return inner_->size(); }
+  [[nodiscard]] std::vector<NodeId> snapshot() const override {
+    return inner_->snapshot();
+  }
+
+  /// The decorated membership — e.g. for digest exchange when it is a
+  /// PartialView (gossip::LpbcastNode looks through the decorator).
+  [[nodiscard]] Membership& inner() noexcept { return *inner_; }
+
+  [[nodiscard]] ClusterId home_cluster() const noexcept { return home_; }
+  [[nodiscard]] const LocalityParams& params() const noexcept {
+    return params_;
+  }
+
+  /// The current bridges of `cluster`: the lowest known NodeIds there
+  /// (the owner itself included for its home cluster). Recomputed from
+  /// the live membership, so it reflects churn immediately.
+  [[nodiscard]] std::vector<NodeId> bridges_of(ClusterId cluster) const;
+
+ private:
+  /// Splits the current membership snapshot into the same-cluster pool and
+  /// the remote-bridge pool. Rebuilt per call: the wrapped view can change
+  /// underneath us (partial-view digests bypass add/remove), and snapshots
+  /// are group-sized, so recomputing is cheaper than staying correct with
+  /// invalidation hooks.
+  void rebuild_pools();
+
+  NodeId self_;
+  LocalityParams params_;
+  std::shared_ptr<const ClusterMap> clusters_;
+  std::unique_ptr<Membership> inner_;
+  Rng rng_;
+  ClusterId home_;
+
+  // Scratch reused across targets() calls to avoid reallocation.
+  std::vector<NodeId> local_pool_;
+  std::vector<NodeId> bridge_pool_;
+};
+
+}  // namespace agb::membership

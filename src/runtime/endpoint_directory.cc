@@ -5,6 +5,7 @@
 #include <cctype>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 
 namespace agb::runtime {
@@ -75,6 +76,25 @@ bool StaticDirectory::resolve(NodeId node, UdpEndpoint* out) const {
   if (it == entries_.end()) return false;
   *out = it->second;
   return true;
+}
+
+membership::TableClusterMap cluster_map_from_directory(
+    const EndpointDirectory& directory, const std::vector<NodeId>& nodes) {
+  // host → members; std::map orders hosts, which fixes the cluster ids.
+  std::map<std::uint32_t, std::vector<NodeId>> by_host;
+  for (NodeId node : nodes) {
+    UdpEndpoint endpoint;
+    if (directory.resolve(node, &endpoint)) {
+      by_host[endpoint.ipv4].push_back(node);
+    }
+  }
+  membership::TableClusterMap map;
+  membership::ClusterId next = 0;
+  for (const auto& entry : by_host) {
+    for (NodeId node : entry.second) map.assign(node, next);
+    ++next;
+  }
+  return map;
 }
 
 bool parse_endpoint_spec(const std::string& spec, UdpEndpoint* out) {

@@ -12,8 +12,10 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
+#include "membership/cluster_map.h"
 
 namespace agb::runtime {
 
@@ -75,5 +77,15 @@ class StaticDirectory final : public EndpointDirectory {
 /// Parses "a.b.c.d:port" into an endpoint. Exposed for config plumbing and
 /// tests; returns false (leaving *out untouched) on malformed input.
 bool parse_endpoint_spec(const std::string& spec, UdpEndpoint* out);
+
+/// Derives cluster structure from deployment layout: every node in `nodes`
+/// whose endpoint resolves to the same IPv4 host lands in one cluster, and
+/// cluster ids are assigned in ascending host order — deterministic, so
+/// every process handed the same directory elects the same bridges.
+/// Unresolvable nodes stay unmapped (membership::kUnknownCluster). This is
+/// how a runtime deployment feeds membership::LocalityView the knowledge
+/// that sim::NetworkParams.clusters provides in simulation.
+[[nodiscard]] membership::TableClusterMap cluster_map_from_directory(
+    const EndpointDirectory& directory, const std::vector<NodeId>& nodes);
 
 }  // namespace agb::runtime

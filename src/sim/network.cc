@@ -66,6 +66,13 @@ void SimNetwork::send_batch(Multicast batch) {
   };
   std::vector<DelayGroup> groups;
   for (NodeId to : batch.targets) {
+    // The intra/cross split mirrors `sent`: counted per addressed target,
+    // before any drop, so the WAN-traffic share reflects what the sender
+    // put on the wire.
+    const bool cross_cluster =
+        params_.clusters > 1 &&
+        batch.from % params_.clusters != to % params_.clusters;
+    ++(cross_cluster ? stats_.sent_cross_cluster : stats_.sent_intra_cluster);
     if (sender_down || down_.contains(to)) {
       ++stats_.dropped_down;
       continue;
@@ -81,8 +88,7 @@ void SimNetwork::send_batch(Multicast batch) {
     // Latency selection: explicit per-link override > cluster rule >
     // default.
     const LatencyModel* latency = &params_.latency;
-    if (params_.clusters > 1 &&
-        batch.from % params_.clusters != to % params_.clusters) {
+    if (cross_cluster) {
       latency = &params_.wan_latency;
     }
     if (!link_latency_.empty()) {

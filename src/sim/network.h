@@ -97,6 +97,13 @@ struct NetworkParams {
 /// Counters exposed for tests and benches.
 struct NetworkStats {
   std::uint64_t sent = 0;        // one per (batch, target) pair
+  /// `sent`, split by the cluster rule: a (batch, target) pair whose
+  /// endpoints share a cluster counts as intra, one that crosses a
+  /// boundary as cross. With clusters <= 1 everything is intra. These are
+  /// the WAN-traffic receipts of locality-biased target selection
+  /// (directional gossip, paper §5).
+  std::uint64_t sent_intra_cluster = 0;
+  std::uint64_t sent_cross_cluster = 0;
   std::uint64_t batches = 0;     // send_batch calls (a fan-out counts once)
   /// Simulator events scheduled for deliveries: same-delay targets of one
   /// batch share one event, so a fixed-latency fan-out of F costs 1, not F.

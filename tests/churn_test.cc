@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "gossip/lpbcast_node.h"
+#include "membership/cluster_map.h"
+#include "membership/full_membership.h"
+#include "membership/locality_view.h"
 #include "membership/partial_view.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -49,6 +52,12 @@ struct Cluster {
     auto view = std::make_unique<membership::PartialView>(id, view_params(),
                                                           master.split());
     for (NodeId contact : contacts) view->add(contact);
+    return add_node_with_view(id, std::move(view));
+  }
+
+  /// Adds a node over an arbitrary membership (e.g. a LocalityView).
+  LpbcastNode* add_node_with_view(
+      NodeId id, std::unique_ptr<membership::Membership> view) {
     auto node = std::make_unique<LpbcastNode>(id, params(), std::move(view),
                                               master.split());
     net.attach(id, [raw = node.get()](const Datagram& d, TimeMs now) {
@@ -150,6 +159,69 @@ TEST(ChurnTest, ViewsStayBoundedUnderHeavyJoinChurn) {
   cluster.find(0)->broadcast(make_payload({0x22}), cluster.sim.now());
   cluster.sim.run_for(15'000);
   EXPECT_GE(deliveries, static_cast<int>(cluster.nodes.size() * 3 / 4));
+}
+
+TEST(ChurnTest, BridgeCrashReelectsSuccessorAndCrossDeliveryRecovers) {
+  // Two islands (even ids / odd ids) with locality-biased membership:
+  // nodes 0..11, cluster = id % 2, one bridge per cluster. The initial
+  // bridge of the odd cluster is node 1; crash it mid-run, let the
+  // failure propagate to the membership layer (as lpbcast unsubs or a
+  // failure detector would), and cross-cluster delivery must recover
+  // through the re-elected bridge (node 3).
+  Cluster cluster;
+  constexpr NodeId kGroup = 12;
+  auto map = std::make_shared<membership::ModuloClusterMap>(2);
+  std::vector<membership::LocalityView*> views;
+  for (NodeId id = 0; id < kGroup; ++id) {
+    auto inner =
+        std::make_unique<membership::FullMembership>(id, cluster.master.split());
+    for (NodeId peer = 0; peer < kGroup; ++peer) {
+      if (peer != id) inner->add(peer);
+    }
+    membership::LocalityParams locality;
+    locality.enabled = true;
+    locality.p_local = 0.7;
+    auto view = std::make_unique<membership::LocalityView>(
+        id, locality, map, std::move(inner), cluster.master.split());
+    views.push_back(view.get());
+    cluster.add_node_with_view(id, std::move(view));
+  }
+
+  // Everyone agrees on the initial election.
+  EXPECT_EQ(views[0]->bridges_of(1), std::vector<NodeId>{1});
+  EXPECT_EQ(views[5]->bridges_of(0), std::vector<NodeId>{0});
+
+  std::set<NodeId> receivers;
+  for (auto& node : cluster.nodes) {
+    node->set_deliver_handler(
+        [&receivers, id = node->id()](const Event&, TimeMs) {
+          receivers.insert(id);
+        });
+  }
+  cluster.sim.run_until(5'000);
+  cluster.find(0)->broadcast(make_payload({0x41}), cluster.sim.now());
+  cluster.sim.run_until(20'000);
+  EXPECT_EQ(receivers.size(), kGroup) << "pre-crash dissemination incomplete";
+
+  // Crash the odd cluster's bridge and tell the survivors (the role the
+  // lpbcast unsub flow / a failure detector plays in a deployment).
+  cluster.net.set_node_up(1, false);
+  for (auto& node : cluster.nodes) {
+    if (node->id() != 1) node->membership().remove(1);
+  }
+  for (NodeId id = 0; id < kGroup; ++id) {
+    if (id == 1) continue;
+    EXPECT_EQ(views[id]->bridges_of(1), std::vector<NodeId>{3})
+        << "node " << id << " did not re-elect";
+  }
+
+  // A fresh broadcast from the even cluster still reaches every live odd
+  // node — the cross-cluster funnel now runs through node 3.
+  receivers.clear();
+  cluster.find(4)->broadcast(make_payload({0x42}), cluster.sim.now());
+  cluster.sim.run_until(40'000);
+  EXPECT_EQ(receivers.size(), kGroup - 1) << "post-crash delivery incomplete";
+  EXPECT_FALSE(receivers.contains(1));
 }
 
 TEST(ChurnTest, PartialViewGroupDeliversBroadcasts) {

@@ -118,5 +118,34 @@ TEST(StaticDirectoryTest, RejectsNonNumericAndNegativeNodeIds) {
       StaticDirectory::from_file(missing_endpoint.path()).has_value());
 }
 
+TEST(ClusterMapFromDirectoryTest, GroupsNodesByHostInAscendingHostOrder) {
+  StaticDirectory directory;
+  // Two hosts, interleaved node ids; ports don't matter for grouping.
+  ASSERT_TRUE(directory.add_spec(0, "10.0.0.2:4000"));
+  ASSERT_TRUE(directory.add_spec(1, "10.0.0.1:4000"));
+  ASSERT_TRUE(directory.add_spec(2, "10.0.0.2:4001"));
+  ASSERT_TRUE(directory.add_spec(3, "10.0.0.1:4001"));
+
+  const auto map = cluster_map_from_directory(directory, {0, 1, 2, 3, 9});
+  // Cluster ids follow ascending host order: 10.0.0.1 is cluster 0.
+  EXPECT_EQ(map.cluster_of(1), 0u);
+  EXPECT_EQ(map.cluster_of(3), 0u);
+  EXPECT_EQ(map.cluster_of(0), 1u);
+  EXPECT_EQ(map.cluster_of(2), 1u);
+  // Node 9 has no endpoint: unmapped, not guessed.
+  EXPECT_EQ(map.cluster_of(9), membership::kUnknownCluster);
+  EXPECT_EQ(map.size(), 4u);
+}
+
+TEST(ClusterMapFromDirectoryTest, LoopbackCollapsesToOneCluster) {
+  // The single-host layout is one island — locality bias degrades to
+  // plain uniform selection there, which is exactly right.
+  LoopbackDirectory directory(9000);
+  const auto map = cluster_map_from_directory(directory, {0, 1, 2});
+  EXPECT_EQ(map.cluster_of(0), 0u);
+  EXPECT_EQ(map.cluster_of(1), 0u);
+  EXPECT_EQ(map.cluster_of(2), 0u);
+}
+
 }  // namespace
 }  // namespace agb::runtime

@@ -20,7 +20,9 @@
 
 #include "gossip/lpbcast_node.h"
 #include "gossip/message.h"
+#include "membership/cluster_map.h"
 #include "membership/full_membership.h"
+#include "membership/locality_view.h"
 #include "runtime/inmemory_fabric.h"
 #include "runtime/node_runtime.h"
 #include "runtime/udp_transport.h"
@@ -49,12 +51,22 @@ bool eventually(const std::function<bool()>& predicate,
   return predicate();
 }
 
-std::unique_ptr<gossip::LpbcastNode> make_node(NodeId self,
-                                               DurationMs period) {
-  auto members =
+std::unique_ptr<gossip::LpbcastNode> make_node(NodeId self, DurationMs period,
+                                               bool locality = false) {
+  std::unique_ptr<membership::Membership> members =
       std::make_unique<membership::FullMembership>(self, Rng(self * 13 + 1));
   for (NodeId id = 0; id < kNodes; ++id) {
     if (id != self) members->add(id);
+  }
+  if (locality) {
+    // Two islands (even/odd ids); all seeds are fixed per node id, so
+    // every fabric's node makes the identical bridge choices.
+    membership::LocalityParams params;
+    params.enabled = true;
+    params.p_local = 0.75;
+    members = std::make_unique<membership::LocalityView>(
+        self, params, std::make_shared<membership::ModuloClusterMap>(2),
+        std::move(members), Rng(self * 31 + 5));
   }
   gossip::GossipParams params;
   params.fanout = 2;
@@ -77,7 +89,7 @@ bool complete(const DeliveryMap& deliveries) {
 
 /// Drives the group under the discrete-event simulator; rounds emitted as
 /// one Multicast each through SimNetwork::send_batch.
-DeliveryMap run_over_sim() {
+DeliveryMap run_over_sim(bool locality = false) {
   sim::Simulator sim;
   sim::SimNetwork net(sim, sim::NetworkParams{}, Rng(17));
   std::vector<std::unique_ptr<gossip::LpbcastNode>> nodes;
@@ -85,7 +97,7 @@ DeliveryMap run_over_sim() {
   DeliveryMap deliveries;
 
   for (NodeId id = 0; id < kNodes; ++id) {
-    auto node = make_node(id, /*period=*/10);
+    auto node = make_node(id, /*period=*/10, locality);
     node->set_deliver_handler(
         [&deliveries, id](const gossip::Event& e, TimeMs) {
           deliveries[id].insert(e.id);
@@ -113,13 +125,14 @@ DeliveryMap run_over_sim() {
 /// Drives the group over a real (threaded or socket) fabric via NodeRuntime,
 /// whose round loop emits one Multicast per round.
 DeliveryMap run_over_runtime(DatagramNetwork& network,
-                             const std::function<TimeMs()>& clock) {
+                             const std::function<TimeMs()>& clock,
+                             bool locality = false) {
   std::mutex mu;
   DeliveryMap deliveries;
   std::vector<std::unique_ptr<runtime::NodeRuntime>> runtimes;
   for (NodeId id = 0; id < kNodes; ++id) {
     auto runtime = std::make_unique<runtime::NodeRuntime>(
-        make_node(id, /*period=*/10), network, clock);
+        make_node(id, /*period=*/10, locality), network, clock);
     runtime->set_deliver_handler(
         [&mu, &deliveries, id](const gossip::Event& e, TimeMs) {
           std::lock_guard lock(mu);
@@ -154,6 +167,29 @@ TEST(FabricParityTest, SameEventSetThroughAllThreeFabrics) {
       run_over_runtime(transport, [&transport] { return transport.now(); });
 
   // Every fabric delivered exactly the same ids to the same nodes.
+  EXPECT_EQ(via_sim, via_fabric);
+  EXPECT_EQ(via_sim, via_udp);
+}
+
+TEST(FabricParityTest, LocalityBiasedGroupMatchesOnAllThreeFabrics) {
+  // The locality decorator biases *who* is gossiped to, never what is
+  // delivered: with per-node fixed seeds the bridge elections and biased
+  // picks are identical on every fabric, so the delivered event sets must
+  // be too.
+  const DeliveryMap via_sim = run_over_sim(/*locality=*/true);
+  ASSERT_TRUE(complete(via_sim));
+
+  runtime::InMemoryFabric fabric({});
+  const DeliveryMap via_fabric = run_over_runtime(
+      fabric, [&fabric] { return fabric.now(); }, /*locality=*/true);
+
+  // 28'420: clear of runtime_test's 28'500-28'900 blocks and this file's
+  // other transports — the binaries run concurrently under ctest -j.
+  runtime::UdpTransport transport(28'420);
+  const DeliveryMap via_udp = run_over_runtime(
+      transport, [&transport] { return transport.now(); },
+      /*locality=*/true);
+
   EXPECT_EQ(via_sim, via_fabric);
   EXPECT_EQ(via_sim, via_udp);
 }

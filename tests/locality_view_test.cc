@@ -1,0 +1,241 @@
+// LocalityView target selection: the biased sampling contract (empirical
+// same-cluster fraction tracks p_local), the hard invariants (distinct
+// targets, never the owner, cross-cluster picks only through bridges),
+// deterministic bridge election and re-election, and the ClusterMap
+// implementations feeding it.
+#include "membership/locality_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "membership/cluster_map.h"
+#include "membership/full_membership.h"
+#include "membership/partial_view.h"
+
+namespace agb::membership {
+namespace {
+
+constexpr std::size_t kGroup = 60;
+constexpr std::size_t kClusters = 3;
+constexpr std::size_t kFanout = 4;
+
+/// A LocalityView over a full directory of kGroup members.
+std::unique_ptr<LocalityView> make_view(NodeId self, LocalityParams params,
+                                        std::uint64_t seed,
+                                        std::size_t clusters = kClusters,
+                                        std::size_t group = kGroup) {
+  auto map = std::make_shared<ModuloClusterMap>(clusters);
+  auto inner = std::make_unique<FullMembership>(self, Rng(seed));
+  for (NodeId id = 0; id < group; ++id) {
+    if (id != self) inner->add(id);
+  }
+  return std::make_unique<LocalityView>(self, params, std::move(map),
+                                        std::move(inner), Rng(seed + 1));
+}
+
+TEST(ClusterMapTest, ModuloPartitionsByResidue) {
+  ModuloClusterMap map(3);
+  EXPECT_EQ(map.cluster_of(0), 0u);
+  EXPECT_EQ(map.cluster_of(4), 1u);
+  EXPECT_EQ(map.cluster_of(11), 2u);
+  // Degenerate cluster counts collapse to one flat island.
+  EXPECT_EQ(ModuloClusterMap(1).cluster_of(7), 0u);
+  EXPECT_EQ(ModuloClusterMap(0).cluster_of(7), 0u);
+}
+
+TEST(ClusterMapTest, TableMapsAssignedNodesAndFlagsUnknowns) {
+  TableClusterMap map;
+  map.assign(3, 0);
+  map.assign(8, 1);
+  EXPECT_EQ(map.cluster_of(3), 0u);
+  EXPECT_EQ(map.cluster_of(8), 1u);
+  EXPECT_EQ(map.cluster_of(99), kUnknownCluster);
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(LocalityViewTest, SameClusterFractionTracksPLocal) {
+  LocalityParams params;
+  params.enabled = true;
+  params.p_local = 0.8;
+  auto view = make_view(/*self=*/0, params, /*seed=*/42);
+
+  // With 19 local peers and 2 remote bridges both pools outlast a fanout
+  // of 4, so every slot is a clean Bernoulli(p_local) draw; over 10k
+  // rounds the fraction's standard error is ~0.2 %, far inside the 3 %
+  // gate.
+  const std::size_t rounds = 10'000;
+  std::size_t local_picks = 0;
+  std::size_t total_picks = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (NodeId target : view->targets(kFanout)) {
+      ++total_picks;
+      if (target % kClusters == 0) ++local_picks;  // self is cluster 0
+    }
+  }
+  ASSERT_EQ(total_picks, rounds * kFanout);
+  const double fraction =
+      static_cast<double>(local_picks) / static_cast<double>(total_picks);
+  EXPECT_NEAR(fraction, params.p_local, 0.03);
+}
+
+TEST(LocalityViewTest, TargetsAreDistinctAndNeverTheOwner) {
+  LocalityParams params;
+  params.enabled = true;
+  params.p_local = 0.5;  // plenty of both pools exercised
+  auto view = make_view(/*self=*/7, params, /*seed=*/5);
+
+  for (std::size_t round = 0; round < 2'000; ++round) {
+    const auto targets = view->targets(kFanout);
+    ASSERT_EQ(targets.size(), kFanout);
+    const std::set<NodeId> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), targets.size()) << "duplicate target";
+    EXPECT_FALSE(unique.contains(7u)) << "owner picked itself";
+  }
+}
+
+TEST(LocalityViewTest, CrossClusterPicksGoThroughBridgesOnly) {
+  LocalityParams params;
+  params.enabled = true;
+  params.p_local = 0.5;
+  params.bridges_per_cluster = 2;
+  auto view = make_view(/*self=*/0, params, /*seed=*/9);
+
+  // Node 0's home is cluster 0; the remote bridges are the two lowest ids
+  // of clusters 1 and 2.
+  EXPECT_EQ(view->home_cluster(), 0u);
+  EXPECT_EQ(view->bridges_of(1), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(view->bridges_of(2), (std::vector<NodeId>{2, 5}));
+  const std::set<NodeId> bridges{1, 4, 2, 5};
+
+  for (std::size_t round = 0; round < 2'000; ++round) {
+    for (NodeId target : view->targets(kFanout)) {
+      if (target % kClusters != 0) {
+        EXPECT_TRUE(bridges.contains(target))
+            << "cross-cluster pick " << target << " is not a bridge";
+      }
+    }
+  }
+}
+
+TEST(LocalityViewTest, BridgeReelectsToNextLowestIdOnRemove) {
+  LocalityParams params;
+  params.enabled = true;
+  auto view = make_view(/*self=*/0, params, /*seed=*/3);
+
+  ASSERT_EQ(view->bridges_of(1), std::vector<NodeId>{1});
+  view->remove(1);  // the membership layer learns the bridge left
+  EXPECT_EQ(view->bridges_of(1), std::vector<NodeId>{4});
+
+  // Every cross-cluster pick aimed at cluster 1 now goes to the successor.
+  for (std::size_t round = 0; round < 1'000; ++round) {
+    for (NodeId target : view->targets(kFanout)) {
+      if (target % kClusters == 1) {
+        EXPECT_EQ(target, 4u);
+      }
+    }
+  }
+
+  // A recovered bridge (re-add) wins the election back.
+  view->add(1);
+  EXPECT_EQ(view->bridges_of(1), std::vector<NodeId>{1});
+}
+
+TEST(LocalityViewTest, OwnerCountsInItsHomeClusterElection) {
+  LocalityParams params;
+  params.enabled = true;
+  // Node 0 is the lowest id of cluster 0 and must see itself as bridge.
+  auto view = make_view(/*self=*/0, params, /*seed=*/4);
+  EXPECT_EQ(view->bridges_of(0), std::vector<NodeId>{0});
+}
+
+TEST(LocalityViewTest, FallsBackWhenAPoolIsEmpty) {
+  LocalityParams params;
+  params.enabled = true;
+  params.p_local = 0.9;
+
+  // Single cluster: no bridges exist, every pick is local.
+  auto flat = make_view(/*self=*/0, params, /*seed=*/11, /*clusters=*/1,
+                        /*group=*/10);
+  for (std::size_t round = 0; round < 100; ++round) {
+    EXPECT_EQ(flat->targets(3).size(), 3u);
+  }
+
+  // No local peers (self is its cluster's only member in a 6-node,
+  // 6-cluster group): everything routes through bridges despite p_local.
+  auto lonely = make_view(/*self=*/0, params, /*seed=*/12, /*clusters=*/6,
+                          /*group=*/6);
+  for (std::size_t round = 0; round < 100; ++round) {
+    const auto targets = lonely->targets(3);
+    EXPECT_EQ(targets.size(), 3u);
+    for (NodeId target : targets) EXPECT_NE(target % 6, 0u);
+  }
+
+  // Empty membership yields no targets at all.
+  auto alone = make_view(/*self=*/0, params, /*seed=*/13, /*clusters=*/2,
+                         /*group=*/1);
+  EXPECT_TRUE(alone->targets(3).empty());
+}
+
+TEST(LocalityViewTest, ForwardsMembershipMutationsToTheInnerView) {
+  LocalityParams params;
+  params.enabled = true;
+  auto view = make_view(/*self=*/0, params, /*seed=*/21, kClusters,
+                        /*group=*/6);
+  EXPECT_EQ(view->size(), 5u);
+  EXPECT_TRUE(view->contains(3));
+  view->remove(3);
+  EXPECT_FALSE(view->contains(3));
+  EXPECT_EQ(view->size(), 4u);
+  view->add(40);
+  EXPECT_TRUE(view->contains(40));
+  auto snapshot = view->snapshot();
+  EXPECT_TRUE(std::find(snapshot.begin(), snapshot.end(), 40u) !=
+              snapshot.end());
+}
+
+TEST(LocalityViewTest, WrapsAPartialViewAndTracksItsChurn) {
+  // The decorator over lpbcast's partial view: targets follow whatever the
+  // wrapped view currently knows, including changes that arrive through
+  // apply_digest (which bypasses LocalityView::add/remove entirely).
+  auto map = std::make_shared<ModuloClusterMap>(2);
+  PartialViewParams view_params;
+  auto inner = std::make_unique<PartialView>(/*self=*/0, view_params, Rng(1));
+  auto* partial = inner.get();
+  LocalityParams params;
+  params.enabled = true;
+  params.p_local = 0.5;
+  LocalityView view(/*self=*/0, params, std::move(map), std::move(inner),
+                    Rng(2));
+
+  MembershipDigest digest;
+  digest.subs = {2, 4, 5};
+  partial->apply_digest(/*from=*/3, digest);
+
+  // Bridge of the odd cluster is the lowest known odd id (the digest
+  // sender 3 joined the view too).
+  EXPECT_EQ(view.bridges_of(1), std::vector<NodeId>{3});
+  for (std::size_t round = 0; round < 500; ++round) {
+    for (NodeId target : view.targets(2)) {
+      if (target % 2 == 1) {
+        EXPECT_EQ(target, 3u);
+      }
+    }
+  }
+}
+
+TEST(LocalityViewTest, SeededRunsAreReproducible) {
+  LocalityParams params;
+  params.enabled = true;
+  auto a = make_view(/*self=*/0, params, /*seed=*/77);
+  auto b = make_view(/*self=*/0, params, /*seed=*/77);
+  for (std::size_t round = 0; round < 200; ++round) {
+    EXPECT_EQ(a->targets(kFanout), b->targets(kFanout));
+  }
+}
+
+}  // namespace
+}  // namespace agb::membership

@@ -24,13 +24,36 @@ TEST(ScenarioRegistryTest, ShipsTheDocumentedPresets) {
   auto& registry = ScenarioRegistry::instance();
   for (const char* name :
        {"paper60", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "churn",
-        "burst-loss", "wan-clusters", "semantic-streams"}) {
+        "burst-loss", "wan-clusters", "wan-directional",
+        "wan-directional-churn", "semantic-streams"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
-  EXPECT_GE(registry.presets().size(), 11u);
+  EXPECT_GE(registry.presets().size(), 13u);
   EXPECT_EQ(registry.find("no-such-preset"), nullptr);
   EXPECT_THROW((void)registry.build("no-such-preset", Config{}),
                std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, SuggestsCloseNamesForTypos) {
+  auto& registry = ScenarioRegistry::instance();
+  // A one-edit typo resolves to the intended preset, best match first.
+  const auto close = registry.suggest("wan-direcional");
+  ASSERT_FALSE(close.empty());
+  EXPECT_EQ(close.front(), "wan-directional");
+  // A truncated name matches by containment.
+  const auto contained = registry.suggest("wan");
+  ASSERT_GE(contained.size(), 3u);
+  // Gibberish suggests nothing rather than everything.
+  EXPECT_TRUE(registry.suggest("zzzzzzzzzzzz").empty());
+  // The build() error carries the hint for tools to surface.
+  try {
+    (void)registry.build("wan-direcional", Config{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("wan-directional"),
+              std::string::npos);
+  }
 }
 
 TEST(ScenarioRegistryTest, MalformedSpecValuesThrow) {
@@ -114,6 +137,41 @@ TEST(ScenarioRegistryTest, WanClustersSetsTopology) {
   auto p = ScenarioRegistry::instance().build("wan-clusters", Config{});
   EXPECT_EQ(p.network.clusters, 3u);
   EXPECT_EQ(p.network.wan_latency.kind, sim::LatencyModel::Kind::kUniform);
+  EXPECT_FALSE(p.locality.enabled);  // uniform selection is the baseline
+}
+
+TEST(ScenarioRegistryTest, WanDirectionalEnablesLocalityOverSameTopology) {
+  auto p = ScenarioRegistry::instance().build("wan-directional", Config{});
+  EXPECT_EQ(p.network.clusters, 3u);
+  EXPECT_TRUE(p.locality.enabled);
+  EXPECT_DOUBLE_EQ(p.locality.p_local, 0.9);
+  EXPECT_EQ(p.locality.bridges_per_cluster, 2u);
+  EXPECT_EQ(p.gossip.max_age, 20u);  // funnelling needs the longer tail
+  // The locality knobs are part of the shared key=value vocabulary (and
+  // hence sweepable axes).
+  auto cfg = config_of({"p_local=0.6", "bridges_per_cluster=2",
+                        "locality=0"});
+  auto q = ScenarioRegistry::instance().build("wan-directional", cfg);
+  EXPECT_FALSE(q.locality.enabled);
+  EXPECT_DOUBLE_EQ(q.locality.p_local, 0.6);
+  EXPECT_EQ(q.locality.bridges_per_cluster, 2u);
+}
+
+TEST(ScenarioRegistryTest, WanDirectionalChurnCrashesTheBridges) {
+  auto p =
+      ScenarioRegistry::instance().build("wan-directional-churn", Config{});
+  EXPECT_TRUE(p.locality.enabled);
+  EXPECT_TRUE(p.failure_detector);
+  ASSERT_EQ(p.failure_schedule.size(), 6u);  // 3 bridges, down + up each
+  for (std::size_t i = 0; i < p.failure_schedule.size(); i += 2) {
+    const auto& down = p.failure_schedule[i];
+    const auto& up = p.failure_schedule[i + 1];
+    EXPECT_FALSE(down.up);
+    EXPECT_TRUE(up.up);
+    EXPECT_EQ(down.node, up.node);
+    // Under the modulo rule the initial bridges are exactly 0, 1, 2.
+    EXPECT_EQ(down.node, static_cast<NodeId>(i / 2));
+  }
 }
 
 TEST(ScenarioRegistryTest, ExplicitBaseValuesSurviveDerivedFallbacks) {

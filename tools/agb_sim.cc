@@ -30,6 +30,7 @@
 //   recovery(0) repair_after(2) give_up_after(8) retrieve_rounds(6)
 //   latency=fixed:ms | uniform:lo:hi | normal:mean:stddev   (fixed:1)
 //   wan_latency=<same grammar>  clusters(1)
+//   locality(0) p_local(0.85) bridges_per_cluster(1) failure_detector(0)
 //   loss=p (iid) | burst:pgood:pbad:pgb:pbg                 (0)
 //   capacity=at_ms:frac:cap[,...]     failures=at_ms:node:up|down[,...]
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
@@ -134,9 +135,9 @@ int main(int argc, char** argv) {
 
   auto& registry = core::ScenarioRegistry::instance();
   if (cfg.get_bool("list", false)) {
-    std::printf("%-18s %s\n", "scenario", "summary");
+    std::printf("%-22s %s\n", "scenario", "summary");
     for (const auto* preset : registry.presets()) {
-      std::printf("%-18s %s\n", preset->name.c_str(),
+      std::printf("%-22s %s\n", preset->name.c_str(),
                   preset->summary.c_str());
     }
     return 0;
@@ -145,8 +146,8 @@ int main(int argc, char** argv) {
   const std::string name = cfg.get_string("scenario", "paper60");
   const core::ScenarioPreset* preset = registry.find(name);
   if (preset == nullptr) {
-    std::fprintf(stderr, "agb_sim: unknown scenario '%s' (try list=1)\n",
-                 name.c_str());
+    std::fprintf(stderr, "agb_sim: %s (try list=1)\n",
+                 registry.unknown_name_message(name).c_str());
     return 2;
   }
 
@@ -223,6 +224,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.net.delivered),
               static_cast<unsigned long long>(r.net.dropped_loss),
               static_cast<double>(r.net.bytes_delivered) / 1e6);
+  if (p.network.clusters > 1) {
+    const double cross_pct =
+        r.net.sent == 0 ? 0.0
+                        : 100.0 * static_cast<double>(r.net.sent_cross_cluster)
+                              / static_cast<double>(r.net.sent);
+    std::printf("wan traffic      : %llu intra-cluster, %llu cross-cluster "
+                "datagrams (%.1f%% cross%s)\n",
+                static_cast<unsigned long long>(r.net.sent_intra_cluster),
+                static_cast<unsigned long long>(r.net.sent_cross_cluster),
+                cross_pct,
+                p.locality.enabled ? ", locality-biased" : "");
+  }
 
   if (per_node) {
     std::printf("\n%-6s %-8s %-10s %-9s %-9s %-9s %-9s\n", "node", "bcasts",
