@@ -4,6 +4,10 @@
 // up as minutes of extra wall time in the sweeps.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "adaptive/congestion_estimator.h"
 #include "adaptive/minbuff_estimator.h"
 #include "common/rng.h"
@@ -130,7 +134,8 @@ void BM_InMemoryFanoutPerTargetSend(benchmark::State& state) {
   const auto fanout = static_cast<std::size_t>(state.range(0));
   runtime::InMemoryFabric fabric({.loss_probability = 0.0,
                                   .min_delay = 0,
-                                  .max_delay = 0});
+                                  .max_delay = 0,
+                                  .shards = 1});
   const auto targets = batch_targets(fanout);
   for (NodeId t : targets) fabric.attach(t, [](const Datagram&, TimeMs) {});
   const SharedBytes payload = make_message(120, 16).encode_shared();
@@ -147,7 +152,8 @@ void BM_InMemoryFanoutBatchSend(benchmark::State& state) {
   const auto fanout = static_cast<std::size_t>(state.range(0));
   runtime::InMemoryFabric fabric({.loss_probability = 0.0,
                                   .min_delay = 0,
-                                  .max_delay = 0});
+                                  .max_delay = 0,
+                                  .shards = 1});
   const auto targets = batch_targets(fanout);
   for (NodeId t : targets) fabric.attach(t, [](const Datagram&, TimeMs) {});
   const SharedBytes payload = make_message(120, 16).encode_shared();
@@ -159,6 +165,62 @@ void BM_InMemoryFanoutBatchSend(benchmark::State& state) {
       static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_InMemoryFanoutBatchSend)->Arg(3)->Arg(5)->Arg(10);
+
+// The sharded receive path's receipts: end-to-end delivery throughput of a
+// 60-node fan-out-heavy workload (every node fans one encoded gossip
+// message out to every other) against {shards, max_burst}. Args
+// {1, 1} reproduce the pre-sharding baseline exactly — one dispatcher,
+// one handler call + lock cycle per datagram; {shards >= 4, 64} is the
+// sharded burst path, the >= 3x acceptance bar (on one core the win comes
+// from burst amortisation; shards add core-parallelism on top).
+// max_queue_depth shows the backlog the dispatchers ran at.
+void BM_InMemoryDeliveryThroughput(benchmark::State& state) {
+  constexpr std::size_t kGroup = 60;
+  runtime::InMemoryFabric fabric(
+      {.loss_probability = 0.0,
+       .min_delay = 0,
+       .max_delay = 0,
+       .shards = static_cast<std::size_t>(state.range(0)),
+       .max_burst = static_cast<std::size_t>(state.range(1))});
+  std::atomic<std::uint64_t> received{0};
+  for (NodeId n = 0; n < kGroup; ++n) {
+    fabric.attach_batch(n, [&received](const Datagram* batch,
+                                       std::size_t count, TimeMs) {
+      benchmark::DoNotOptimize(batch);
+      received.fetch_add(count, std::memory_order_relaxed);
+    });
+  }
+  std::vector<std::vector<NodeId>> targets(kGroup);
+  for (NodeId from = 0; from < kGroup; ++from) {
+    for (NodeId to = 0; to < kGroup; ++to) {
+      if (to != from) targets[from].push_back(to);
+    }
+  }
+  const SharedBytes payload = make_message(120, 16).encode_shared();
+  constexpr std::uint64_t kPerRound = kGroup * (kGroup - 1);
+  std::uint64_t want = 0;
+  for (auto _ : state) {
+    for (NodeId from = 0; from < kGroup; ++from) {
+      fabric.send_batch(Multicast{from, targets[from], payload});
+    }
+    want += kPerRound;
+    while (received.load(std::memory_order_relaxed) < want) {
+      std::this_thread::yield();  // lossless fabric: always completes
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kPerRound));  // items/s = datagrams/s
+  state.counters["max_queue_depth"] =
+      static_cast<double>(fabric.max_queue_depth());
+}
+BENCHMARK(BM_InMemoryDeliveryThroughput)
+    ->Args({1, 1})   // pre-sharding baseline: per-datagram dispatch
+    ->Args({1, 64})  // burst dispatch, single dispatcher
+    ->Args({4, 64})  // the acceptance configuration
+    ->Args({8, 64})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimNetworkFanoutPerTargetSend(benchmark::State& state) {
   const auto fanout = static_cast<std::size_t>(state.range(0));
@@ -229,6 +291,61 @@ void BM_UdpFanoutBatchSend(benchmark::State& state) {
       static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_UdpFanoutBatchSend)->Arg(3)->Arg(5)->Arg(10);
+
+// Inbound mirror of the fan-out benches: one sendmmsg burst of F datagrams
+// to a single receiver, drained through recvmmsg (recv_batch 16). The
+// handler decodes every datagram, as NodeRuntime's does — that realistic
+// per-datagram cost is what lets inbound bursts pile up behind it, which
+// is exactly when batch draining pays. The recv_syscalls_per_burst
+// counter is the receipt — F per-recv() syscalls before, approaching
+// ceil(F/16) (plus wakeup calls) after. Arg is F.
+void BM_UdpRecvBurstSyscalls(benchmark::State& state) {
+  const auto fanout = static_cast<std::size_t>(state.range(0));
+  runtime::UdpTransport transport(29'300, /*recv_batch=*/16);
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  std::atomic<std::uint64_t> received{0};
+  transport.attach_batch(
+      1, [&received](const Datagram* batch, std::size_t count, TimeMs) {
+        for (std::size_t i = 0; i < count; ++i) {
+          auto decoded = gossip::decode_any(batch[i].payload);
+          benchmark::DoNotOptimize(decoded);
+        }
+        received.fetch_add(count, std::memory_order_relaxed);
+      });
+  const std::vector<NodeId> targets(fanout, 1);
+  // Small payload: the whole burst must fit the socket rcvbuf, UDP drops
+  // the overflow otherwise.
+  const SharedBytes payload = make_message(4, 16).encode_shared();
+  std::uint64_t want = 0;
+  for (auto _ : state) {
+    transport.send_batch(Multicast{0, targets, payload});
+    want += fanout;
+    // UDP is lossy even on loopback (rcvbuf overflow under scheduler
+    // stalls): top up any kernel-dropped datagrams instead of spinning
+    // forever. Rare, so the syscall counter stays representative.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(200);
+    while (received.load(std::memory_order_relaxed) < want) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        const std::uint64_t missing =
+            want - received.load(std::memory_order_relaxed);
+        transport.send_batch(Multicast{
+            0, std::vector<NodeId>(static_cast<std::size_t>(missing), 1),
+            payload});
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(200);
+      }
+      std::this_thread::yield();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fanout));
+  state.counters["recv_syscalls_per_burst"] =
+      static_cast<double>(transport.recv_syscalls()) /
+      static_cast<double>(state.iterations());
+  state.counters["datagrams_per_burst"] = static_cast<double>(fanout);
+}
+BENCHMARK(BM_UdpRecvBurstSyscalls)->Arg(16)->Arg(64)->UseRealTime();
 
 void BM_EventBufferInsertShrink(benchmark::State& state) {
   const auto capacity = static_cast<std::size_t>(state.range(0));

@@ -14,6 +14,7 @@
 // one-target batch, so there is exactly one code path to test and tune.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -48,6 +49,15 @@ struct Multicast {
 using DatagramHandler =
     std::function<void(const Datagram& datagram, TimeMs now)>;
 
+/// Receives a whole inbound burst for one node: `count >= 1` datagrams, all
+/// with the same `to`, in arrival order. The array is only valid for the
+/// duration of the call. Fabrics with a batched receive path (recvmmsg
+/// drains, sharded dispatch) hand a burst over in one call so the receiver
+/// pays its per-delivery costs (state lock, wakeup) once per burst instead
+/// of once per datagram.
+using BatchHandler = std::function<void(const Datagram* batch,
+                                        std::size_t count, TimeMs now)>;
+
 /// Best-effort datagram fabric. Implementations: sim::SimNetwork (virtual
 /// time, latency/loss/partition models) and runtime transports (in-memory
 /// threaded fabric, UDP sockets).
@@ -58,6 +68,17 @@ class DatagramNetwork {
   /// Registers the handler invoked when a datagram arrives for `node`.
   /// A node must be attached before anyone sends to it.
   virtual void attach(NodeId node, DatagramHandler handler) = 0;
+
+  /// Batch counterpart of attach(): the handler sees whole inbound bursts.
+  /// The default adapter delivers every datagram as a burst of one through
+  /// attach(), preserving per-datagram semantics on fabrics without native
+  /// batch ingestion (e.g. the simulator); the runtime fabrics override it.
+  virtual void attach_batch(NodeId node, BatchHandler handler) {
+    attach(node, [handler = std::move(handler)](const Datagram& datagram,
+                                                TimeMs now) {
+      handler(&datagram, 1, now);
+    });
+  }
 
   /// Removes a node; datagrams in flight to it are dropped.
   virtual void detach(NodeId node) = 0;

@@ -1,15 +1,42 @@
 #include "runtime/inmemory_fabric.h"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 namespace agb::runtime {
 
+namespace {
+
+/// Distinct per-shard RNG streams from one user seed (splitmix64 step).
+std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard) {
+  return seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
+}
+
+}  // namespace
+
 InMemoryFabric::InMemoryFabric(Params params, std::uint64_t seed)
     : params_(params),
-      epoch_(std::chrono::steady_clock::now()),
-      rng_(seed),
-      dispatcher_([this] { dispatch_loop(); }),
-      dispatcher_id_(dispatcher_.get_id()) {}
+      zero_delay_(params.min_delay <= 0 && params.max_delay <= 0),
+      epoch_(std::chrono::steady_clock::now()) {
+  // Round the shard count up to a power of two so node -> shard/slot is a
+  // mask and a shift instead of a division.
+  std::size_t count = 1;
+  while (count < params_.shards) count <<= 1;
+  shard_mask_ = count - 1;
+  shard_shift_ = 0;
+  while ((std::size_t{1} << shard_shift_) < count) ++shard_shift_;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->rng = Rng(shard_seed(seed, i));
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->dispatcher = std::thread([this, raw] { dispatch_loop(*raw); });
+  }
+}
 
 InMemoryFabric::~InMemoryFabric() { shutdown(); }
 
@@ -20,112 +47,244 @@ TimeMs InMemoryFabric::now() const {
 }
 
 void InMemoryFabric::attach(NodeId node, DatagramHandler handler) {
-  std::lock_guard lock(mutex_);
-  handlers_[node] = std::move(handler);
+  // Stored as a burst handler that replays per datagram: one internal
+  // delivery path, per-datagram semantics preserved for classic callers.
+  attach_batch(node, [handler = std::move(handler)](const Datagram* batch,
+                                                    std::size_t count,
+                                                    TimeMs now) {
+    for (std::size_t i = 0; i < count; ++i) handler(batch[i], now);
+  });
+}
+
+void InMemoryFabric::attach_batch(NodeId node, BatchHandler handler) {
+  Shard& shard = shard_of(node);
+  const std::size_t slot = slot_of(node);
+  std::lock_guard lock(shard.mutex);
+  if (shard.handlers.size() <= slot) shard.handlers.resize(slot + 1);
+  shard.handlers[slot] = std::move(handler);
 }
 
 void InMemoryFabric::detach(NodeId node) {
-  std::unique_lock lock(mutex_);
-  handlers_.erase(node);
+  Shard& shard = shard_of(node);
+  const std::size_t slot = slot_of(node);
+  std::unique_lock lock(shard.mutex);
+  if (slot < shard.handlers.size()) shard.handlers[slot] = nullptr;
   // Wait out an in-flight delivery to this node: once detach returns, the
   // caller may free whatever state the handler captured. A handler that
   // detaches its own node must not wait for itself.
-  if (std::this_thread::get_id() != dispatcher_id_) {
-    idle_cv_.wait(lock, [&] { return in_flight_ != node; });
+  if (std::this_thread::get_id() != shard.dispatcher_id) {
+    shard.idle_cv.wait(lock, [&] { return shard.in_flight != node; });
   }
 }
 
 void InMemoryFabric::send_batch(Multicast batch) {
-  std::lock_guard lock(mutex_);
-  ++send_lock_acquisitions_;
-  if (stopping_) return;
-  const TimeMs base = now();
-  bool queued = false;
-  for (NodeId to : batch.targets) {
-    if (rng_.bernoulli(params_.loss_probability)) {
-      ++dropped_;
-      continue;
+  const std::size_t count = shards_.size();
+  // Split the fan-out per shard in ONE pass over the targets, outside any
+  // lock. The scratch sublists are thread-local so a steady-state sender
+  // allocates nothing here.
+  thread_local std::vector<std::vector<NodeId>> scratch;
+  if (count > 1) {
+    if (scratch.size() < count) scratch.resize(count);
+    for (std::size_t i = 0; i < count; ++i) scratch[i].clear();
+    for (NodeId to : batch.targets) {
+      scratch[static_cast<std::size_t>(to) & shard_mask_].push_back(to);
     }
-    const DurationMs spread = params_.max_delay - params_.min_delay;
-    const DurationMs delay =
-        params_.min_delay +
-        (spread > 0
-             ? static_cast<DurationMs>(
-                   rng_.next_below(static_cast<std::uint64_t>(spread) + 1))
-             : 0);
-    // Each queue entry aliases the batch payload: a refcount bump per
-    // target, one heap buffer for the whole fan-out.
-    queue_.emplace(base + delay, Datagram{batch.from, to, batch.payload});
-    queued = true;
   }
-  if (queued) cv_.notify_one();  // one wakeup for the whole batch
+  for (std::size_t i = 0; i < count; ++i) {
+    Shard& shard = *shards_[i];
+    // This shard's share of the fan-out (owned: the queue entry keeps it).
+    std::vector<NodeId> sub = count == 1 ? std::move(batch.targets)
+                                         : std::vector<NodeId>(scratch[i]);
+    if (sub.empty()) continue;
+
+    bool queued = false;
+    bool notify = false;
+    {
+      std::lock_guard lock(shard.mutex);
+      send_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      if (shard.stopping) continue;
+      if (params_.loss_probability > 0.0) {
+        std::size_t kept = 0;
+        for (NodeId to : sub) {
+          if (shard.rng.bernoulli(params_.loss_probability)) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            sub[kept++] = to;
+          }
+        }
+        sub.resize(kept);
+      }
+      if (!sub.empty()) {
+        if (zero_delay_) {
+          // Due immediately: ONE queue entry and one payload refcount
+          // bump for this whole shard's share, expanded at dispatch.
+          shard.ready_count += sub.size();
+          shard.ready.push_back(
+              ReadyBatch{batch.from, batch.payload, std::move(sub)});
+        } else {
+          const TimeMs base = now();
+          const DurationMs spread = params_.max_delay - params_.min_delay;
+          for (NodeId to : sub) {
+            const DurationMs delay =
+                params_.min_delay +
+                (spread > 0
+                     ? static_cast<DurationMs>(shard.rng.next_below(
+                           static_cast<std::uint64_t>(spread) + 1))
+                     : 0);
+            // Each entry aliases the batch payload: a refcount bump per
+            // target. Equal due times keep insertion order (multimap),
+            // preserving per-receiver FIFO.
+            shard.delayed.emplace(base + delay,
+                                  Datagram{batch.from, to, batch.payload});
+          }
+        }
+        queued = true;
+        if (shard.depth() > shard.max_depth) shard.max_depth = shard.depth();
+      }
+      // Wake the dispatcher only if it is actually asleep — when it is
+      // mid-drain it re-checks the queues before ever waiting, and the
+      // skipped futex syscall is most of a zero-delay send's cost.
+      notify = queued && shard.waiting;
+    }
+    if (notify) shard.cv.notify_one();  // one wakeup per touched shard
+  }
 }
 
-std::uint64_t InMemoryFabric::delivered() const {
-  std::lock_guard lock(mutex_);
-  return delivered_;
+std::size_t InMemoryFabric::max_queue_depth(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);  // throws for shard >= shard_count()
+  std::lock_guard lock(s.mutex);
+  return s.max_depth;
 }
 
-std::uint64_t InMemoryFabric::dropped() const {
-  std::lock_guard lock(mutex_);
-  return dropped_;
-}
-
-std::uint64_t InMemoryFabric::send_lock_acquisitions() const {
-  std::lock_guard lock(mutex_);
-  return send_lock_acquisitions_;
+std::size_t InMemoryFabric::max_queue_depth() const {
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    depth = std::max(depth, max_queue_depth(i));
+  }
+  return depth;
 }
 
 void InMemoryFabric::shutdown() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-    // Discard everything still queued: after shutdown() no handler runs
-    // again, so a caller may tear down handler state right away.
-    dropped_ += queue_.size();
-    queue_.clear();
+  const auto self = std::this_thread::get_id();
+  // A handler may call shutdown() from its own dispatcher thread (e.g.
+  // reacting to a poison-pill datagram); that thread cannot join itself —
+  // the destructor, running on another thread, performs that join later.
+  std::vector<bool> self_is_dispatcher(shards_.size(), false);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    {
+      std::lock_guard lock(shard.mutex);
+      shard.stopping = true;
+      // Discard everything still queued: after shutdown() no handler runs
+      // again, so a caller may tear down handler state right away.
+      dropped_.fetch_add(shard.depth(), std::memory_order_relaxed);
+      shard.delayed.clear();
+      shard.ready.clear();
+      shard.ready_count = 0;
+      self_is_dispatcher[i] = shard.dispatcher_id == self;
+    }
+    shard.cv.notify_all();
   }
-  cv_.notify_all();
-  // A handler may call shutdown() from the dispatcher thread itself (e.g.
-  // reacting to a poison-pill datagram); it cannot join itself — the
-  // destructor, running on another thread, performs the join later.
-  if (std::this_thread::get_id() == dispatcher_id_) return;
-  // Join exactly once even when shutdown() races with itself (e.g. an
-  // explicit call concurrent with the destructor).
-  std::call_once(join_once_, [this] {
-    if (dispatcher_.joinable()) dispatcher_.join();
-  });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (self_is_dispatcher[i]) continue;
+    Shard& shard = *shards_[i];
+    // Join exactly once even when shutdown() races with itself (e.g. an
+    // explicit call concurrent with the destructor).
+    std::call_once(shard.join_once, [&shard] {
+      if (shard.dispatcher.joinable()) shard.dispatcher.join();
+    });
+  }
 }
 
-void InMemoryFabric::dispatch_loop() {
-  std::unique_lock lock(mutex_);
+void InMemoryFabric::dispatch_loop(Shard& shard) {
+  const std::size_t max_burst =
+      params_.max_burst > 0 ? params_.max_burst : 1;
+  // Caps the datagrams drained (and so the lock hold) per dispatch cycle;
+  // a deeper backlog is simply drained over several cycles.
+  const std::size_t drain_cap = std::max<std::size_t>(1024, max_burst);
+  std::unique_lock lock(shard.mutex);
+  shard.dispatcher_id = std::this_thread::get_id();
+  // Sorts a drained datagram into its receiver's bucket — or drops it on
+  // the floor right here when the receiver is unknown or detached.
+  auto bucket_push = [&](Datagram&& datagram) {
+    const std::size_t slot = slot_of(datagram.to);
+    if (slot >= shard.handlers.size() || !shard.handlers[slot]) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<Datagram>& bucket = shard.buckets[slot];
+    if (bucket.empty()) shard.active.push_back(slot);
+    bucket.push_back(std::move(datagram));
+  };
   while (true) {
-    if (stopping_) return;
-    if (queue_.empty()) {
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (shard.stopping) return;
+    if (shard.depth() == 0) {
+      shard.waiting = true;
+      shard.cv.wait(lock, [&] { return shard.stopping || shard.depth() > 0; });
+      shard.waiting = false;
       continue;
     }
-    const TimeMs due = queue_.begin()->first;
     const TimeMs current = now();
-    if (due > current) {
-      cv_.wait_for(lock, std::chrono::milliseconds(due - current));
-      continue;
+    if (shard.ready.empty()) {
+      const TimeMs due = shard.delayed.begin()->first;
+      if (due > current) {
+        shard.waiting = true;
+        shard.cv.wait_for(lock, std::chrono::milliseconds(due - current));
+        shard.waiting = false;
+        continue;
+      }
     }
-    Datagram datagram = std::move(queue_.begin()->second);
-    queue_.erase(queue_.begin());
-    auto it = handlers_.find(datagram.to);
-    if (it == handlers_.end()) {
-      ++dropped_;  // detached (or never attached): discard silently
-      continue;
+    // Drain every currently-due entry in one pass (O(due), not O(queue)
+    // per delivery) and group per receiver. Entries land in their
+    // receiver's bucket in queue order, so per-receiver FIFO — including
+    // among equal due times — is intact.
+    if (shard.buckets.size() < shard.handlers.size()) {
+      shard.buckets.resize(shard.handlers.size());
     }
-    DatagramHandler handler = it->second;  // copy: handler may detach
-    ++delivered_;
-    in_flight_ = datagram.to;
-    lock.unlock();
-    handler(datagram, now());
-    lock.lock();
-    in_flight_ = kInvalidNode;
-    idle_cv_.notify_all();
+    std::size_t expanded = 0;
+    while (!shard.ready.empty() && expanded < drain_cap) {
+      ReadyBatch batch = std::move(shard.ready.front());
+      shard.ready.pop_front();
+      expanded += batch.targets.size();
+      shard.ready_count -= batch.targets.size();
+      for (NodeId to : batch.targets) {
+        bucket_push(Datagram{batch.from, to, batch.payload});
+      }
+    }
+    while (!shard.delayed.empty() &&
+           shard.delayed.begin()->first <= current &&
+           expanded < drain_cap) {
+      ++expanded;
+      bucket_push(std::move(shard.delayed.begin()->second));
+      shard.delayed.erase(shard.delayed.begin());
+    }
+    // One handler call (and one lock cycle) per receiver burst, not per
+    // datagram. The handler slot is re-read per chunk under the lock: a
+    // concurrent detach() between chunks must stop later deliveries, and
+    // shutdown() must stop them all.
+    for (const std::size_t slot : shard.active) {
+      std::vector<Datagram>& burst = shard.buckets[slot];
+      for (std::size_t offset = 0; offset < burst.size();
+           offset += max_burst) {
+        if (shard.stopping || !shard.handlers[slot]) {
+          dropped_.fetch_add(burst.size() - offset,
+                             std::memory_order_relaxed);
+          break;
+        }
+        BatchHandler handler = shard.handlers[slot];  // copy: may detach
+        const std::size_t count =
+            std::min(max_burst, burst.size() - offset);
+        delivered_.fetch_add(count, std::memory_order_relaxed);
+        shard.in_flight = burst[offset].to;
+        lock.unlock();
+        handler(burst.data() + offset, count, now());
+        lock.lock();
+        shard.in_flight = kInvalidNode;
+        shard.idle_cv.notify_all();
+      }
+      burst.clear();
+    }
+    shard.active.clear();
   }
 }
 

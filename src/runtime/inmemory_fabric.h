@@ -3,17 +3,32 @@
 // The paper validates its simulations against a prototype running on 60
 // workstations; our runtime substitutes an in-process fabric: real threads,
 // real wall-clock timing, real serialized datagrams, optional loss and
-// delay injection. A single dispatcher thread owns a delay-ordered queue
-// and invokes receiver handlers; handlers run on the dispatcher thread and
-// must synchronise their own state (runtime::NodeRuntime does).
+// delay injection.
+//
+// The fabric is sharded by receiver: node n belongs to shard n % shards,
+// and each shard owns its own delay-ordered queue and dispatcher thread.
+// send_batch splits a fan-out across the shards it touches (one lock
+// acquisition per touched shard, not per target), and dispatchers deliver
+// independently — deliveries to receivers on different shards proceed in
+// parallel. Within a shard, all currently-due datagrams for one receiver
+// are handed to its handler as a single burst (BatchHandler), so a
+// receiver pays its per-delivery cost once per burst. Same-due-time
+// datagrams to one receiver are delivered in send order (a receiver maps
+// to exactly one shard, and each shard's queue is FIFO among equal due
+// times). Handlers run on dispatcher threads and must synchronise their
+// own state (runtime::NodeRuntime does).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/datagram.h"
 #include "common/rng.h"
@@ -27,6 +42,15 @@ class InMemoryFabric final : public DatagramNetwork {
     double loss_probability = 0.0;
     DurationMs min_delay = 0;
     DurationMs max_delay = 2;
+    /// Receiver shards, each with its own delay queue + dispatcher thread.
+    /// Rounded up to a power of two (shard addressing is a mask, not a
+    /// division); 1 reproduces the classic single-dispatcher fabric.
+    std::size_t shards = 4;
+    /// Most datagrams handed to one handler call: bounds how long one
+    /// receiver's burst can monopolise its shard's dispatcher when the
+    /// queue is saturated. 1 reproduces per-datagram dispatch (the
+    /// pre-sharding baseline, kept for A/B benchmarks); clamped to >= 1.
+    std::size_t max_burst = 64;
   };
 
   explicit InMemoryFabric(Params params, std::uint64_t seed = 1);
@@ -37,55 +61,129 @@ class InMemoryFabric final : public DatagramNetwork {
 
   void attach(NodeId node, DatagramHandler handler) override;
 
+  /// Native batch ingestion: the handler sees every currently-due burst
+  /// for `node` in one call (all entries share `to == node`, send order
+  /// preserved).
+  void attach_batch(NodeId node, BatchHandler handler) override;
+
   /// Removes the node and blocks until any in-flight handler call for it
   /// has returned (unless called from that handler itself), so callers may
-  /// destroy handler state immediately afterwards.
+  /// destroy handler state immediately afterwards. Only the node's own
+  /// shard is involved — a detach never stalls the other dispatchers.
   void detach(NodeId node) override;
 
-  /// Enqueues every target's datagram under ONE lock acquisition and wakes
-  /// the dispatcher once — a fan-out of F costs one lock/wakeup, not F.
+  /// Splits the fan-out across receiver shards: one lock acquisition and
+  /// at most one dispatcher wakeup per *touched shard*, never per target.
   /// Loss and delay are still sampled per target.
   void send_batch(Multicast batch) override;
 
   /// Milliseconds since the fabric was created (the runtime's clock).
   [[nodiscard]] TimeMs now() const;
 
-  [[nodiscard]] std::uint64_t delivered() const;
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
-  /// How many times the send path took the fabric lock (once per
-  /// send_batch, whatever the fan-out). The batch micro-benchmarks report
-  /// this per batch.
-  [[nodiscard]] std::uint64_t send_lock_acquisitions() const;
+  /// How many times the send path took a shard lock. A fan-out costs one
+  /// acquisition per shard it touches — at most min(fan-out, shards), and
+  /// exactly 1 when shards == 1. The batch micro-benchmarks report this
+  /// per batch.
+  [[nodiscard]] std::uint64_t send_lock_acquisitions() const {
+    return send_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
 
-  /// Stops the dispatcher and joins its thread exactly once; queued
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Lifetime high-water mark of `shard`'s delay queue (datagrams queued
+  /// at once). The saturation gauge for sizing `Params::shards`. Throws
+  /// std::out_of_range for shard >= shard_count().
+  [[nodiscard]] std::size_t max_queue_depth(std::size_t shard) const;
+
+  /// Max of max_queue_depth(shard) over all shards.
+  [[nodiscard]] std::size_t max_queue_depth() const;
+
+  /// Stops every dispatcher and joins its thread exactly once; queued
   /// datagrams are discarded without invoking any handler. Called by the
-  /// destructor; safe to call repeatedly and from multiple threads.
+  /// destructor; safe to call repeatedly, from multiple threads, and from
+  /// a handler (the destructor joins that handler's own dispatcher later).
   void shutdown();
 
  private:
-  void dispatch_loop();
+  /// A zero-delay fan-out, stored unexpanded: one queue entry and ONE
+  /// payload refcount bump per touched shard, however many targets.
+  struct ReadyBatch {
+    NodeId from = kInvalidNode;
+    SharedBytes payload;
+    std::vector<NodeId> targets;  // this shard's targets, in send order
+  };
+
+  /// Everything one dispatcher thread owns. Shards never take each
+  /// other's locks. Receivers are slot-indexed (slot = node / shards —
+  /// node ids are small dense integers throughout the repo), so the hot
+  /// path does array lookups, never hashes.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::condition_variable idle_cv;  // signals end of an in-flight handler
+    /// Delay-ordered entries, keyed by due time (insertion order among
+    /// equal keys = send order). Unused when the fabric is zero-delay.
+    std::multimap<TimeMs, Datagram> delayed;
+    /// FIFO fast path for a zero-delay fabric: everything is due the
+    /// moment it is sent, so ordering is pure send order and enqueueing
+    /// skips the multimap's per-entry allocation and rebalancing.
+    std::deque<ReadyBatch> ready;
+    std::size_t ready_count = 0;  // datagrams across `ready` batches
+    std::vector<BatchHandler> handlers;  // slot-indexed; empty = detached
+    Rng rng{1};
+    bool stopping = false;
+    /// True while the dispatcher sits in a cv wait: senders skip the
+    /// notify (a futex syscall) when the dispatcher is awake anyway —
+    /// it re-checks the queues before ever waiting.
+    bool waiting = false;
+    NodeId in_flight = kInvalidNode;  // node whose handler is executing
+    std::size_t max_depth = 0;
+    /// Dispatch scratch, slot-indexed like `handlers` (persistent so a
+    /// dispatch cycle allocates nothing in steady state).
+    std::vector<std::vector<Datagram>> buckets;
+    std::vector<std::size_t> active;  // slots with a non-empty bucket
+    std::once_flag join_once;
+    std::thread dispatcher;
+    /// Set by the dispatcher thread itself, under `mutex`, before its
+    /// first queue pop — so detach()/shutdown() comparisons are race-free.
+    std::thread::id dispatcher_id;
+
+    [[nodiscard]] std::size_t depth() const {
+      return delayed.size() + ready_count;
+    }
+  };
+
+  /// Node n lives on shard n & shard_mask_ at slot n >> shard_shift_ —
+  /// two bit ops, no division on the hot path.
+  Shard& shard_of(NodeId node) {
+    return *shards_[static_cast<std::size_t>(node) & shard_mask_];
+  }
+  const Shard& shard_of(NodeId node) const {
+    return *shards_[static_cast<std::size_t>(node) & shard_mask_];
+  }
+  [[nodiscard]] std::size_t slot_of(NodeId node) const {
+    return static_cast<std::size_t>(node) >> shard_shift_;
+  }
+
+  void dispatch_loop(Shard& shard);
 
   Params params_;
+  /// No delay to model: every datagram goes through the Shard::ready FIFO.
+  bool zero_delay_;
+  std::size_t shard_mask_ = 0;
+  unsigned shard_shift_ = 0;
   std::chrono::steady_clock::time_point epoch_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;  // signals end of an in-flight handler
-  std::multimap<TimeMs, Datagram> queue_;  // keyed by due time
-  std::unordered_map<NodeId, DatagramHandler> handlers_;
-  Rng rng_;
-  bool stopping_ = false;
-  NodeId in_flight_ = kInvalidNode;  // node whose handler is executing
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t send_lock_acquisitions_ = 0;
-
-  std::once_flag join_once_;
-  std::thread dispatcher_;
-  /// Captured at construction: comparing against dispatcher_.get_id() later
-  /// would race with a concurrent join() on the same std::thread object.
-  std::thread::id dispatcher_id_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> send_lock_acquisitions_{0};
 };
 
 }  // namespace agb::runtime

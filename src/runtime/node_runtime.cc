@@ -10,9 +10,13 @@ NodeRuntime::NodeRuntime(std::unique_ptr<gossip::LpbcastNode> node,
       adaptive_(dynamic_cast<adaptive::AdaptiveLpbcastNode*>(node_.get())),
       network_(network),
       clock_(std::move(clock)) {
-  network_.attach(node_->id(), [this](const Datagram& d, TimeMs now) {
-    on_datagram(d, now);
-  });
+  // Batch attach: fabrics with batched ingestion (recvmmsg drains, sharded
+  // dispatch bursts) hand a whole inbound burst over in one call, and the
+  // runtime takes its state lock once per burst instead of once per
+  // datagram. Fabrics without native batching deliver bursts of one.
+  network_.attach_batch(
+      node_->id(), [this](const Datagram* batch, std::size_t count,
+                          TimeMs now) { on_datagram_batch(batch, count, now); });
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }
@@ -64,13 +68,24 @@ void NodeRuntime::round_loop() {
   }
 }
 
-void NodeRuntime::on_datagram(const Datagram& datagram, TimeMs now) {
-  auto message = gossip::decode_any(datagram.payload);
+void NodeRuntime::on_datagram_batch(const Datagram* batch, std::size_t count,
+                                    TimeMs now) {
+  // Decode outside the state lock — the codec needs no node state — then
+  // feed the whole burst through under ONE lock acquisition.
+  std::vector<gossip::WireMessage> messages;
+  messages.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    messages.push_back(gossip::decode_any(batch[i].payload));
+  }
   std::vector<gossip::LpbcastNode::ControlDatagram> controls;
   const NodeId self = node_->id();
   {
     std::lock_guard lock(mutex_);
-    if (!node_->on_wire(message, now)) return;
+    bool handled = false;
+    for (const auto& message : messages) {
+      handled = node_->on_wire(message, now) || handled;
+    }
+    if (!handled) return;
     controls = node_->take_outbox();
   }
   for (auto& control : controls) {

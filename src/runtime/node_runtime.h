@@ -65,7 +65,8 @@ class NodeRuntime {
 
  private:
   void round_loop();
-  void on_datagram(const Datagram& datagram, TimeMs now);
+  void on_datagram_batch(const Datagram* batch, std::size_t count,
+                         TimeMs now);
 
   std::unique_ptr<gossip::LpbcastNode> node_;
   adaptive::AdaptiveLpbcastNode* adaptive_;  // non-owning downcast

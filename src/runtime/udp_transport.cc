@@ -30,26 +30,30 @@ sockaddr_in to_sockaddr(const UdpEndpoint& endpoint) {
 struct UdpTransport::Endpoint {
   int fd = -1;
   NodeId node = kInvalidNode;
-  DatagramHandler handler;
+  BatchHandler handler;
   std::thread rx_thread;
   std::atomic<bool> stopping{false};
 
   ~Endpoint() {
     stopping.store(true);
-    if (fd >= 0) {
-      ::shutdown(fd, SHUT_RDWR);
-      ::close(fd);
-    }
+    // shutdown() wakes the rx thread out of its blocked receive syscall
+    // (close() would not); the fd is closed only after the join, so no
+    // thread ever touches a dead — or worse, recycled — descriptor.
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
     if (rx_thread.joinable()) rx_thread.join();
+    if (fd >= 0) ::close(fd);
   }
 };
 
-UdpTransport::UdpTransport(std::shared_ptr<const EndpointDirectory> directory)
+UdpTransport::UdpTransport(std::shared_ptr<const EndpointDirectory> directory,
+                           std::size_t recv_batch)
     : directory_(std::move(directory)),
+      recv_batch_(recv_batch > 0 ? recv_batch : 1),
       epoch_(std::chrono::steady_clock::now()) {}
 
-UdpTransport::UdpTransport(std::uint16_t base_port)
-    : UdpTransport(std::make_shared<LoopbackDirectory>(base_port)) {}
+UdpTransport::UdpTransport(std::uint16_t base_port, std::size_t recv_batch)
+    : UdpTransport(std::make_shared<LoopbackDirectory>(base_port),
+                   recv_batch) {}
 
 UdpTransport::~UdpTransport() {
   std::lock_guard lock(mutex_);
@@ -63,6 +67,16 @@ TimeMs UdpTransport::now() const {
 }
 
 void UdpTransport::attach(NodeId node, DatagramHandler handler) {
+  // One internal delivery path: a per-datagram handler replays each burst
+  // entry by entry, so classic callers keep their exact semantics.
+  attach_batch(node, [handler = std::move(handler)](const Datagram* batch,
+                                                    std::size_t count,
+                                                    TimeMs now) {
+    for (std::size_t i = 0; i < count; ++i) handler(batch[i], now);
+  });
+}
+
+void UdpTransport::attach_batch(NodeId node, BatchHandler handler) {
   UdpEndpoint self{};
   if (!directory_->resolve(node, &self)) {
     throw std::runtime_error("udp: no directory entry for node " +
@@ -77,6 +91,12 @@ void UdpTransport::attach(NodeId node, DatagramHandler handler) {
   if (endpoint->fd < 0) throw std::runtime_error("udp socket() failed");
   const int reuse = 1;
   ::setsockopt(endpoint->fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  // Batched draining means the socket rides out longer gaps between
+  // syscalls; give the kernel room to absorb a whole fan-in burst instead
+  // of dropping at the default rcvbuf (best effort — caps at the system
+  // rmem_max).
+  const int rcvbuf = 1 << 20;
+  ::setsockopt(endpoint->fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
   // Bind the directory's port on every interface: the node's published
   // address may be a real NIC, loopback, or behind NAT — only the port is
   // ours to claim.
@@ -87,33 +107,85 @@ void UdpTransport::attach(NodeId node, DatagramHandler handler) {
   if (::bind(endpoint->fd, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     ::close(endpoint->fd);
+    endpoint->fd = -1;
     throw std::runtime_error("udp bind() failed for node " +
                              std::to_string(node));
   }
 
-  Endpoint* raw = endpoint.get();
-  endpoint->rx_thread = std::thread([this, raw] {
-    std::vector<std::uint8_t> buf(kMaxDatagram);
-    while (!raw->stopping.load()) {
-      const ssize_t got = ::recv(raw->fd, buf.data(), buf.size(), 0);
-      if (got <= 0) {
-        if (raw->stopping.load()) return;
-        continue;  // transient error; sockets are closed only on detach
-      }
-      if (got < 4) continue;  // missing sender prefix: malformed
-      NodeId from = 0;
-      std::memcpy(&from, buf.data(), 4);
-      Datagram datagram;
-      datagram.from = from;
-      datagram.to = raw->node;
-      datagram.payload = SharedBytes::copy_of(
-          {buf.data() + 4, static_cast<std::size_t>(got - 4)});
-      raw->handler(datagram, now());
-    }
-  });
+  start_rx_thread(endpoint.get());
 
   std::lock_guard lock(mutex_);
   endpoints_[node] = std::move(endpoint);
+}
+
+void UdpTransport::start_rx_thread(Endpoint* raw) {
+  raw->rx_thread = std::thread([this, raw] {
+    // Buffer pool reused across syscalls: the payload bytes are copied
+    // into each Datagram's SharedBytes before the next drain overwrites
+    // them.
+    const std::size_t batch = recv_batch_;
+    std::vector<std::vector<std::uint8_t>> bufs(
+        batch, std::vector<std::uint8_t>(kMaxDatagram));
+    std::vector<Datagram> burst;
+    burst.reserve(batch);
+    auto push = [&](const std::uint8_t* data, std::size_t len) {
+      if (len < 4) return;  // missing sender prefix: malformed
+      NodeId from = 0;
+      std::memcpy(&from, data, 4);
+      Datagram datagram;
+      datagram.from = from;
+      datagram.to = raw->node;
+      datagram.payload = SharedBytes::copy_of({data + 4, len - 4});
+      burst.push_back(std::move(datagram));
+    };
+#if defined(__linux__)
+    std::vector<mmsghdr> msgs(batch);
+    std::vector<iovec> iovs(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      iovs[i].iov_base = bufs[i].data();
+      iovs[i].iov_len = bufs[i].size();
+      msgs[i] = mmsghdr{};
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    bool use_mmsg = true;
+#endif
+    while (!raw->stopping.load()) {
+      burst.clear();
+#if defined(__linux__)
+      if (use_mmsg) {
+        // MSG_WAITFORONE: block until the first datagram arrives, then
+        // take whatever else is already queued without blocking again —
+        // an inbound burst of F datagrams costs ~ceil(F/batch) syscalls.
+        const int got = ::recvmmsg(raw->fd, msgs.data(),
+                                   static_cast<unsigned>(batch),
+                                   MSG_WAITFORONE, nullptr);
+        recv_syscalls_.fetch_add(1);
+        if (got <= 0) {
+          if (got < 0 && errno == ENOSYS) {  // ancient kernel: recv loop
+            use_mmsg = false;
+            continue;
+          }
+          if (raw->stopping.load()) return;
+          continue;  // transient error; sockets are closed only on detach
+        }
+        for (int i = 0; i < got; ++i) push(bufs[i].data(), msgs[i].msg_len);
+      } else
+#endif
+      {
+        // Portable per-datagram path: non-Linux builds and ENOSYS.
+        const ssize_t got =
+            ::recv(raw->fd, bufs[0].data(), bufs[0].size(), 0);
+        recv_syscalls_.fetch_add(1);
+        if (got <= 0) {
+          if (raw->stopping.load()) return;
+          continue;
+        }
+        push(bufs[0].data(), static_cast<std::size_t>(got));
+      }
+      if (!burst.empty()) raw->handler(burst.data(), burst.size(), now());
+    }
+  });
 }
 
 void UdpTransport::detach(NodeId node) {

@@ -8,11 +8,17 @@
 // StaticDirectory spreads the group over real hosts — the transport itself
 // is host-agnostic, like the paper's 60-workstation deployment.
 //
-// A whole fan-out batch goes to the kernel as ONE sendmmsg() syscall
-// (chunked only if the batch exceeds the syscall's limit; a portable
-// sendmsg loop is the non-Linux fallback), with every per-target message
-// sharing the same scatter-gather iovec — the encoded payload is never
-// copied in user space.
+// Both directions are batch-first. Outbound: a whole fan-out goes to the
+// kernel as ONE sendmmsg() syscall (chunked only if the batch exceeds the
+// syscall's limit; a portable sendmsg loop is the non-Linux fallback),
+// every per-target message sharing the same scatter-gather iovec — the
+// encoded payload is never copied in user space. Inbound: each receive
+// thread drains up to `recv_batch` datagrams per recvmmsg() syscall
+// (MSG_WAITFORONE: block for the first, take the rest opportunistically)
+// into a buffer pool reused across syscalls, and hands the whole burst to
+// the node's BatchHandler in one call — an inbound burst of F datagrams
+// costs ~ceil(F/recv_batch) syscalls instead of F, mirroring the send-side
+// win. recv() is the portable per-datagram fallback.
 #pragma once
 
 #include <atomic>
@@ -30,13 +36,19 @@ namespace agb::runtime {
 
 class UdpTransport final : public DatagramNetwork {
  public:
+  /// Default inbound drain: up to this many datagrams per recvmmsg().
+  static constexpr std::size_t kDefaultRecvBatch = 16;
+
   /// Resolves every node — local binds and remote targets — through
-  /// `directory`.
-  explicit UdpTransport(std::shared_ptr<const EndpointDirectory> directory);
+  /// `directory`. `recv_batch` caps the datagrams drained per receive
+  /// syscall (clamped to >= 1).
+  explicit UdpTransport(std::shared_ptr<const EndpointDirectory> directory,
+                        std::size_t recv_batch = kDefaultRecvBatch);
 
   /// Single-host convenience: node `i` is reachable at
   /// 127.0.0.1:(base_port + i).
-  explicit UdpTransport(std::uint16_t base_port);
+  explicit UdpTransport(std::uint16_t base_port,
+                        std::size_t recv_batch = kDefaultRecvBatch);
 
   ~UdpTransport() override;
 
@@ -47,6 +59,11 @@ class UdpTransport final : public DatagramNetwork {
   /// its receive thread. Throws std::runtime_error if the node has no
   /// directory entry or the port cannot be bound.
   void attach(NodeId node, DatagramHandler handler) override;
+
+  /// Batch attach: the handler sees each drained recvmmsg burst in one
+  /// call instead of one call per datagram.
+  void attach_batch(NodeId node, BatchHandler handler) override;
+
   void detach(NodeId node) override;
 
   /// One syscall per batch (sendmmsg), not one per target; unresolvable
@@ -65,15 +82,27 @@ class UdpTransport final : public DatagramNetwork {
     return send_syscalls_.load();
   }
 
+  /// Kernel round-trips taken by the receive path (recvmmsg/recv calls),
+  /// across all attached nodes — the inbound mirror of send_syscalls().
+  [[nodiscard]] std::uint64_t recv_syscalls() const {
+    return recv_syscalls_.load();
+  }
+
+  [[nodiscard]] std::size_t recv_batch() const { return recv_batch_; }
+
  private:
   struct Endpoint;
 
+  void start_rx_thread(Endpoint* endpoint);
+
   std::shared_ptr<const EndpointDirectory> directory_;
+  std::size_t recv_batch_;
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
   std::atomic<std::uint64_t> send_failures_{0};
   std::atomic<std::uint64_t> send_syscalls_{0};
+  std::atomic<std::uint64_t> recv_syscalls_{0};
 };
 
 }  // namespace agb::runtime

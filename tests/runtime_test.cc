@@ -135,7 +135,7 @@ TEST(InMemoryFabricTest, DetachWaitsOutInFlightHandler) {
 }
 
 TEST(InMemoryFabricTest, BatchDeliversAllTargetsUnderOneLockAcquisition) {
-  InMemoryFabric fabric({});
+  InMemoryFabric fabric({.shards = 1});  // the classic single-queue fabric
   std::atomic<int> received{0};
   for (NodeId t = 1; t <= 5; ++t) {
     fabric.attach(t, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
@@ -144,6 +144,107 @@ TEST(InMemoryFabricTest, BatchDeliversAllTargetsUnderOneLockAcquisition) {
   EXPECT_EQ(fabric.send_lock_acquisitions(), 1u);  // F targets, ONE lock
   EXPECT_TRUE(eventually([&] { return received.load() == 5; }));
   EXPECT_EQ(fabric.delivered(), 5u);
+}
+
+TEST(InMemoryFabricTest, BatchTakesOneLockPerTouchedShard) {
+  InMemoryFabric fabric({.shards = 4});
+  ASSERT_EQ(fabric.shard_count(), 4u);
+  std::atomic<int> received{0};
+  for (NodeId t = 1; t <= 8; ++t) {
+    fabric.attach(t, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  }
+  // Targets 1 and 5 share shard 1, 2 and 6 share shard 2: 8 targets touch
+  // all 4 shards exactly, never one lock per target.
+  fabric.send_batch(Multicast{0, {1, 2, 3, 4, 5, 6, 7, 8}, {0x42}});
+  EXPECT_EQ(fabric.send_lock_acquisitions(), 4u);
+  EXPECT_TRUE(eventually([&] { return received.load() == 8; }));
+
+  // A batch confined to one shard costs exactly one more acquisition.
+  fabric.send_batch(Multicast{0, {1, 5}, {0x43}});
+  EXPECT_EQ(fabric.send_lock_acquisitions(), 5u);
+  EXPECT_TRUE(eventually([&] { return received.load() == 10; }));
+}
+
+TEST(InMemoryFabricTest, MaxQueueDepthTracksPerShardHighWater) {
+  InMemoryFabric::Params params;
+  params.min_delay = 10'000;  // nothing comes due: depths only grow
+  params.max_delay = 10'000;
+  params.shards = 2;
+  InMemoryFabric fabric(params);
+  fabric.attach(0, [](const Datagram&, TimeMs) {});  // shard 0
+  fabric.attach(1, [](const Datagram&, TimeMs) {});  // shard 1
+  for (int i = 0; i < 10; ++i) fabric.send(Datagram{2, 0, {1}});
+  for (int i = 0; i < 4; ++i) fabric.send(Datagram{2, 1, {1}});
+  EXPECT_EQ(fabric.max_queue_depth(0), 10u);
+  EXPECT_EQ(fabric.max_queue_depth(1), 4u);
+  EXPECT_EQ(fabric.max_queue_depth(), 10u);  // max over shards
+  fabric.shutdown();
+}
+
+TEST(InMemoryFabricTest, BatchHandlerSeesWholeBurstsForOneReceiver) {
+  // Zero-delay datagrams to one receiver come due together; the sharded
+  // dispatcher must hand them to a BatchHandler in one call (or few),
+  // every entry addressed to that receiver, send order preserved.
+  InMemoryFabric fabric({.min_delay = 0, .max_delay = 0, .shards = 2});
+  std::mutex mu;
+  std::vector<std::size_t> burst_sizes;
+  std::vector<std::uint8_t> order;
+  fabric.attach_batch(1, [&](const Datagram* batch, std::size_t count,
+                             TimeMs) {
+    std::lock_guard lock(mu);
+    burst_sizes.push_back(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(batch[i].to, 1u);
+      order.push_back(batch[i].payload.data()[0]);
+    }
+  });
+  for (std::uint8_t i = 0; i < 16; ++i) {
+    fabric.send(Datagram{0, 1, {i}});
+  }
+  EXPECT_TRUE(eventually([&] {
+    std::lock_guard lock(mu);
+    return order.size() == 16u;
+  }));
+  std::lock_guard lock(mu);
+  for (std::uint8_t i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(fabric.delivered(), 16u);
+}
+
+TEST(InMemoryFabricTest, DetachRacesSaturatedQueueOnEveryShard) {
+  // The acceptance race: producers saturate every shard while nodes are
+  // detached and their handler state freed immediately afterwards. If any
+  // shard's detach failed to wait out an in-flight handler, ASan/TSan sees
+  // a use-after-free of the freed counters.
+  constexpr std::size_t kShards = 4;
+  constexpr NodeId kNodes = 8;
+  InMemoryFabric fabric({.min_delay = 0, .max_delay = 1, .shards = kShards});
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> counters;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    counters.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+    fabric.attach(n, [raw = counters.back().get()](const Datagram&, TimeMs) {
+      raw->fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  std::vector<NodeId> all_targets;
+  for (NodeId n = 0; n < kNodes; ++n) all_targets.push_back(n);
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      while (!stop.load()) {
+        fabric.send_batch(Multicast{100, all_targets, {0x7f}});
+      }
+    });
+  }
+  // Let every shard's queue fill, then rip the nodes out one by one.
+  std::this_thread::sleep_for(50ms);
+  for (NodeId n = 0; n < kNodes; ++n) {
+    fabric.detach(n);
+    counters[n].reset();  // safe iff detach waited out the in-flight burst
+  }
+  stop.store(true);
+  for (auto& t : producers) t.join();
 }
 
 TEST(InMemoryFabricTest, BatchPayloadPointerIdentityAcrossTargets) {
@@ -428,6 +529,56 @@ TEST(UdpTransportTest, AttachWithoutDirectoryEntryThrows) {
   UdpTransport transport(std::make_shared<StaticDirectory>());
   EXPECT_THROW(transport.attach(4, [](const Datagram&, TimeMs) {}),
                std::runtime_error);
+}
+
+TEST(UdpTransportTest, RecvSyscallCounterMirrorsSendSide) {
+  UdpTransport transport(29'350);
+  std::atomic<int> received{0};
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.attach(1, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  EXPECT_EQ(transport.recv_batch(), UdpTransport::kDefaultRecvBatch);
+  transport.send(Datagram{0, 1, {0x33}});
+  ASSERT_TRUE(eventually([&] { return received.load() == 1; }));
+  // At least the syscall that returned the datagram; never zero once
+  // traffic flowed.
+  EXPECT_GE(transport.recv_syscalls(), 1u);
+  transport.detach(0);
+  transport.detach(1);
+}
+
+TEST(UdpTransportTest, RecvBatchesDrainManyDatagramsPerSyscall) {
+#if defined(__linux__)
+  // One sendmmsg burst of F datagrams to one receiver whose handler stalls
+  // briefly: while it stalls the rest queue in the socket buffer, so each
+  // following recvmmsg drains up to recv_batch of them. F syscalls would
+  // mean no batching; the drain path needs ~F/recv_batch (plus the first).
+  constexpr std::size_t kBurst = 64;
+  UdpTransport transport(29'360, /*recv_batch=*/16);
+  std::atomic<int> received{0};
+  std::atomic<int> bursts{0};
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.attach_batch(1, [&](const Datagram* batch, std::size_t count,
+                                TimeMs) {
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(batch[i].to, 1u);
+      EXPECT_EQ(batch[i].from, 0u);
+    }
+    received.fetch_add(static_cast<int>(count));
+    bursts.fetch_add(1);
+    std::this_thread::sleep_for(10ms);  // let the rest pile up
+  });
+  transport.send_batch(
+      Multicast{0, std::vector<NodeId>(kBurst, 1), {0x5a}});
+  ASSERT_TRUE(eventually(
+      [&] { return received.load() == static_cast<int>(kBurst); }));
+  // Strictly fewer handler calls and syscalls than datagrams — the burst
+  // was actually batched. (Exact counts depend on scheduling; the
+  // micro-benchmarks report the ~F/recv_batch figure.)
+  EXPECT_LT(bursts.load(), static_cast<int>(kBurst) / 2);
+  EXPECT_LT(transport.recv_syscalls(), kBurst);
+  transport.detach(0);
+  transport.detach(1);
+#endif
 }
 
 TEST(UdpTransportTest, GossipGroupOverRealSockets) {
