@@ -7,9 +7,11 @@
 // queues and delivery callbacks — shares the same heap buffer; copying a
 // SharedBytes is a reference-count bump, never a byte copy.
 //
-// The buffer is logically immutable. The copy-on-write escape hatch
-// (mutate()) clones the bytes only when they are actually shared, so a
-// unique owner can still edit in place.
+// The buffer is strictly immutable: there is no mutating accessor, so a
+// payload aliased across fan-out targets, delay queues and receive paths
+// can never be edited out from under a reader. (An earlier copy-on-write
+// escape hatch, mutate(), was removed unused — per-target payload variants
+// never materialised; re-adding CoW is trivial if they ever do.)
 #pragma once
 
 #include <algorithm>
@@ -63,17 +65,6 @@ class SharedBytes {
   /// zero-copy pipeline tests assert on this.
   [[nodiscard]] long use_count() const noexcept { return buf_.use_count(); }
 
-  /// Copy-on-write access: returns a mutable reference to the underlying
-  /// vector, cloning the bytes first iff they are shared with anyone else.
-  [[nodiscard]] std::vector<std::uint8_t>& mutate() {
-    if (!buf_) {
-      buf_ = std::make_shared<std::vector<std::uint8_t>>();
-    } else if (buf_.use_count() > 1) {
-      buf_ = std::make_shared<std::vector<std::uint8_t>>(*buf_);
-    }
-    return *buf_;
-  }
-
   /// Byte-wise equality (not buffer identity). A bare vector converts
   /// implicitly, so `payload == std::vector<std::uint8_t>{...}` works too.
   friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
@@ -81,7 +72,7 @@ class SharedBytes {
   }
 
  private:
-  std::shared_ptr<std::vector<std::uint8_t>> buf_;  // logically immutable
+  std::shared_ptr<std::vector<std::uint8_t>> buf_;  // immutable once built
 };
 
 }  // namespace agb

@@ -7,9 +7,7 @@
 
 namespace agb::core {
 
-namespace {
-
-std::vector<NodeId> pick_senders(std::size_t n, std::size_t senders) {
+std::vector<NodeId> scenario_sender_ids(std::size_t n, std::size_t senders) {
   std::vector<NodeId> ids;
   senders = std::max<std::size_t>(1, std::min(senders, n));
   ids.reserve(senders);
@@ -18,8 +16,6 @@ std::vector<NodeId> pick_senders(std::size_t n, std::size_t senders) {
   }
   return ids;
 }
-
-}  // namespace
 
 struct Scenario::SenderState {
   NodeId id = kInvalidNode;
@@ -46,55 +42,64 @@ bool Scenario::in_eval_window(TimeMs t) const {
   return t >= params_.warmup && t < params_.warmup + params_.duration;
 }
 
-void Scenario::build_nodes() {
-  nodes_.reserve(params_.n);
+std::shared_ptr<const membership::ClusterMap> scenario_cluster_map(
+    const ScenarioParams& params) {
   // One shared cluster map: the same modulo rule SimNetwork prices links
   // with, so the membership layer and the network agree on the topology.
-  std::shared_ptr<const membership::ClusterMap> cluster_map;
-  if (params_.locality.enabled) {
-    cluster_map = std::make_shared<membership::ModuloClusterMap>(
-        params_.network.clusters);
+  if (!params.locality.enabled) return nullptr;
+  return std::make_shared<membership::ModuloClusterMap>(
+      params.network.clusters);
+}
+
+std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
+    const ScenarioParams& params, NodeId id, Rng& master_rng,
+    const std::shared_ptr<const membership::ClusterMap>& cluster_map) {
+  const auto i = static_cast<std::size_t>(id);
+  std::unique_ptr<membership::Membership> view;
+  if (params.partial_view) {
+    auto pv = std::make_unique<membership::PartialView>(
+        id, params.view_params, master_rng.split());
+    // Bootstrap: seed each view with a random sample of the group, the
+    // standard way lpbcast deployments are started.
+    auto sample = master_rng.sample_indices(
+        params.n, params.view_params.max_view + 1);
+    for (std::size_t idx : sample) {
+      if (idx != i) pv->add(static_cast<NodeId>(idx));
+    }
+    view = std::move(pv);
+  } else {
+    auto full =
+        std::make_unique<membership::FullMembership>(id, master_rng.split());
+    for (std::size_t j = 0; j < params.n; ++j) {
+      if (j != i) full->add(static_cast<NodeId>(j));
+    }
+    view = std::move(full);
   }
+
+  if (params.locality.enabled) {
+    view = std::make_unique<membership::LocalityView>(
+        id, params.locality, cluster_map, std::move(view),
+        master_rng.split());
+  }
+
+  if (params.adaptive) {
+    return std::make_unique<adaptive::AdaptiveLpbcastNode>(
+        id, params.gossip, params.adaptation, std::move(view),
+        master_rng.split());
+  }
+  return std::make_unique<gossip::LpbcastNode>(
+      id, params.gossip, std::move(view), master_rng.split());
+}
+
+void Scenario::build_nodes() {
+  nodes_.reserve(params_.n);
+  const auto cluster_map = scenario_cluster_map(params_);
   for (std::size_t i = 0; i < params_.n; ++i) {
     const auto id = static_cast<NodeId>(i);
-
-    std::unique_ptr<membership::Membership> view;
-    if (params_.partial_view) {
-      auto pv = std::make_unique<membership::PartialView>(
-          id, params_.view_params, master_rng_.split());
-      // Bootstrap: seed each view with a random sample of the group, the
-      // standard way lpbcast deployments are started.
-      auto sample = master_rng_.sample_indices(
-          params_.n, params_.view_params.max_view + 1);
-      for (std::size_t idx : sample) {
-        if (idx != i) pv->add(static_cast<NodeId>(idx));
-      }
-      view = std::move(pv);
-    } else {
-      auto full =
-          std::make_unique<membership::FullMembership>(id, master_rng_.split());
-      for (std::size_t j = 0; j < params_.n; ++j) {
-        if (j != i) full->add(static_cast<NodeId>(j));
-      }
-      view = std::move(full);
-    }
-
-    if (params_.locality.enabled) {
-      view = std::make_unique<membership::LocalityView>(
-          id, params_.locality, cluster_map, std::move(view),
-          master_rng_.split());
-    }
-
-    std::unique_ptr<gossip::LpbcastNode> node;
+    auto node = build_scenario_node(params_, id, master_rng_, cluster_map);
     if (params_.adaptive) {
-      auto adaptive_node = std::make_unique<adaptive::AdaptiveLpbcastNode>(
-          id, params_.gossip, params_.adaptation, std::move(view),
-          master_rng_.split());
-      adaptive_nodes_.push_back(adaptive_node.get());
-      node = std::move(adaptive_node);
-    } else {
-      node = std::make_unique<gossip::LpbcastNode>(
-          id, params_.gossip, std::move(view), master_rng_.split());
+      adaptive_nodes_.push_back(
+          static_cast<adaptive::AdaptiveLpbcastNode*>(node.get()));
     }
 
     node->set_deliver_handler([this, id](const gossip::Event& e, TimeMs now) {
@@ -201,7 +206,7 @@ void Scenario::drain_sender(SenderState& sender) {
 }
 
 void Scenario::start_senders() {
-  const auto sender_ids = pick_senders(params_.n, params_.senders);
+  const auto sender_ids = scenario_sender_ids(params_.n, params_.senders);
   const double per_sender =
       params_.offered_rate / static_cast<double>(sender_ids.size());
   for (NodeId id : sender_ids) {

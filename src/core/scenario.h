@@ -147,6 +147,29 @@ struct ScenarioResults {
   metrics::TimeSeries input_rate_ts{"input_rate"};
 };
 
+/// The sender layout both harnesses share: `senders` ids spread evenly
+/// over the id space (i * n / senders), clamped to [1, n] — part of the
+/// sim/wall-clock parity contract, so it lives in exactly one place.
+[[nodiscard]] std::vector<NodeId> scenario_sender_ids(std::size_t n,
+                                                      std::size_t senders);
+
+/// The cluster map a scenario's locality decoration uses: the same modulo
+/// rule the network prices links with (sim::SimNetwork and the wall-clock
+/// InMemoryFabric agree on it), or nullptr when locality is off.
+[[nodiscard]] std::shared_ptr<const membership::ClusterMap>
+scenario_cluster_map(const ScenarioParams& params);
+
+/// Builds node `id`'s full protocol stack — membership bootstrap (full
+/// directory or seeded partial view), optional LocalityView decoration,
+/// baseline or adaptive node — drawing every seed from `master_rng` in a
+/// fixed order. Scenario (simulator) and WallclockScenario (real threads)
+/// both build their groups here, so the same ScenarioParams + seed yields
+/// provably identical nodes on either path: that is the contract the
+/// scenario-parity conformance suite pins.
+[[nodiscard]] std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
+    const ScenarioParams& params, NodeId id, Rng& master_rng,
+    const std::shared_ptr<const membership::ClusterMap>& cluster_map);
+
 class Scenario {
  public:
   explicit Scenario(ScenarioParams params);

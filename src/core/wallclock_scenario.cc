@@ -1,0 +1,393 @@
+#include "core/wallclock_scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/inmemory_fabric.h"
+#include "runtime/node_runtime.h"
+
+namespace agb::core {
+
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Rounds a latency-model bound to the fabric's integer milliseconds.
+DurationMs to_delay_ms(double value) {
+  return static_cast<DurationMs>(std::llround(std::max(value, 0.0)));
+}
+
+/// Maps the preset's network model onto InMemoryFabric::Params. validate()
+/// ran first, so only representable models arrive here.
+runtime::InMemoryFabric::Params fabric_params(const ScenarioParams& p,
+                                              const WallclockOptions& o) {
+  runtime::InMemoryFabric::Params fp;
+  fp.shards = o.shards;
+  fp.max_burst = o.max_burst;
+  switch (p.network.latency.kind) {
+    case sim::LatencyModel::Kind::kFixed:
+      fp.min_delay = fp.max_delay = to_delay_ms(p.network.latency.a);
+      break;
+    case sim::LatencyModel::Kind::kUniform:
+      fp.min_delay = to_delay_ms(p.network.latency.a);
+      fp.max_delay = to_delay_ms(p.network.latency.b);
+      break;
+    case sim::LatencyModel::Kind::kNormal:
+      break;  // rejected by validate()
+  }
+  fp.clusters = p.network.clusters;
+  if (p.network.clusters > 1) {
+    switch (p.network.wan_latency.kind) {
+      case sim::LatencyModel::Kind::kFixed:
+        fp.wan_min_delay = fp.wan_max_delay =
+            to_delay_ms(p.network.wan_latency.a);
+        break;
+      case sim::LatencyModel::Kind::kUniform:
+        fp.wan_min_delay = to_delay_ms(p.network.wan_latency.a);
+        fp.wan_max_delay = to_delay_ms(p.network.wan_latency.b);
+        break;
+      case sim::LatencyModel::Kind::kNormal:
+        break;  // rejected by validate()
+    }
+  }
+  switch (p.network.loss.kind) {
+    case sim::LossModel::Kind::kNone:
+      break;
+    case sim::LossModel::Kind::kIid:
+      fp.loss_probability = p.network.loss.p;
+      break;
+    case sim::LossModel::Kind::kBurst:
+      fp.burst_loss = true;
+      fp.loss_p_good = p.network.loss.p_good;
+      fp.loss_p_bad = p.network.loss.p_bad;
+      fp.loss_p_gb = p.network.loss.p_gb;
+      fp.loss_p_bg = p.network.loss.p_bg;
+      break;
+  }
+  return fp;
+}
+
+/// One entry of the merged failure + capacity timeline.
+struct ScheduledAction {
+  TimeMs at = 0;
+  bool is_failure = false;
+  FailureEvent failure;
+  CapacityChange capacity;
+};
+
+}  // namespace
+
+struct WallclockScenario::Impl {
+  explicit Impl(ScenarioParams p, WallclockOptions o)
+      : params(std::move(p)), options(o), master_rng(params.seed) {}
+
+  ScenarioParams params;
+  WallclockOptions options;
+  Rng master_rng;
+
+  std::unique_ptr<runtime::InMemoryFabric> fabric;
+  std::vector<std::unique_ptr<runtime::NodeRuntime>> runtimes;
+  TimeMs epoch = 0;  // fabric time when the run started
+
+  std::mutex tracker_mutex;
+  metrics::DeliveryTracker tracker{1};
+  std::uint64_t app_deliveries = 0;
+
+  std::mutex sched_mutex;
+  std::condition_variable sched_cv;
+  bool sched_stop = false;
+  std::thread scheduler;
+
+  bool ran = false;
+
+  [[nodiscard]] TimeMs rel_now() const { return fabric->now() - epoch; }
+
+  void apply(const ScheduledAction& action);
+  void scheduler_loop(std::vector<ScheduledAction> actions);
+  void run_senders(std::uint64_t* offered, std::uint64_t* admitted,
+                   std::uint64_t* refused);
+};
+
+void WallclockScenario::validate(const ScenarioParams& params) {
+  std::string problems;
+  const auto reject = [&problems](const std::string& what) {
+    if (!problems.empty()) problems += "; ";
+    problems += what;
+  };
+  if (params.network.latency.kind == sim::LatencyModel::Kind::kNormal) {
+    reject("latency=normal is simulator-only (the fabric samples integer "
+           "uniform delays; use fixed:ms or uniform:lo:hi)");
+  }
+  if (params.network.clusters > 1 &&
+      params.network.wan_latency.kind == sim::LatencyModel::Kind::kNormal) {
+    reject("wan_latency=normal is simulator-only (use fixed:ms or "
+           "uniform:lo:hi)");
+  }
+  if (!params.link_latencies.empty()) {
+    reject("per-link latency overrides are simulator-only (the fabric "
+           "knows the cluster topology, not individual links)");
+  }
+  if (!problems.empty()) {
+    throw std::invalid_argument("unsupported on fabric=inmemory: " +
+                                problems);
+  }
+}
+
+WallclockScenario::WallclockScenario(ScenarioParams params,
+                                     WallclockOptions options)
+    : impl_(std::make_unique<Impl>(std::move(params), options)) {
+  validate(impl_->params);
+}
+
+WallclockScenario::~WallclockScenario() {
+  if (impl_->scheduler.joinable()) {
+    {
+      std::lock_guard lock(impl_->sched_mutex);
+      impl_->sched_stop = true;
+    }
+    impl_->sched_cv.notify_all();
+    impl_->scheduler.join();
+  }
+}
+
+void WallclockScenario::Impl::apply(const ScheduledAction& action) {
+  if (action.is_failure) {
+    const FailureEvent& event = action.failure;
+    fabric->set_node_up(event.node, event.up);
+    if (!params.failure_detector) return;
+    // Perfect failure detection, as under the simulator: every survivor's
+    // view learns the change at once, so locality bridge election reacts
+    // within one round.
+    for (auto& runtime : runtimes) {
+      if (runtime->id() == event.node) continue;
+      if (event.up) {
+        runtime->add_member(event.node);
+      } else {
+        runtime->remove_member(event.node);
+      }
+    }
+    return;
+  }
+  const CapacityChange& change = action.capacity;
+  const auto affected = static_cast<std::size_t>(
+      change.node_fraction * static_cast<double>(params.n));
+  for (std::size_t i = 0; i < std::min(affected, params.n); ++i) {
+    runtimes[i]->set_capacity(change.new_capacity);
+  }
+}
+
+void WallclockScenario::Impl::scheduler_loop(
+    std::vector<ScheduledAction> actions) {
+  std::unique_lock lock(sched_mutex);
+  for (const ScheduledAction& action : actions) {
+    // Chase the fabric clock in bounded waits so a stop request is never
+    // outslept and clock drift against sleep_for cannot skew the schedule.
+    while (!sched_stop && rel_now() < action.at) {
+      const DurationMs remaining = action.at - rel_now();
+      sched_cv.wait_for(lock, milliseconds(std::min<DurationMs>(
+                                  std::max<DurationMs>(remaining, 1), 50)));
+    }
+    if (sched_stop) return;
+    apply(action);
+  }
+}
+
+void WallclockScenario::Impl::run_senders(std::uint64_t* offered,
+                                          std::uint64_t* admitted,
+                                          std::uint64_t* refused) {
+  struct SenderState {
+    runtime::NodeRuntime* runtime = nullptr;
+    double rate = 0.0;
+    Rng rng{0};
+    TimeMs next = 0;
+  };
+  const auto sender_ids = scenario_sender_ids(params.n, params.senders);
+  const double per_sender =
+      params.offered_rate / static_cast<double>(sender_ids.size());
+  if (per_sender <= 0.0) {
+    // No offered load: idle through the traffic window (gossip digests
+    // still flow), so the report covers the configured wall-clock span.
+    std::this_thread::sleep_for(
+        milliseconds(params.warmup + params.duration));
+    return;
+  }
+  const double mean_ms = 1000.0 / per_sender;
+
+  std::vector<SenderState> senders;
+  senders.reserve(sender_ids.size());
+  for (NodeId id : sender_ids) {
+    SenderState s;
+    s.runtime = runtimes[id].get();
+    s.rate = per_sender;
+    s.rng = master_rng.split();
+    s.next = static_cast<TimeMs>(std::max(
+        1.0, params.poisson_arrivals ? s.rng.exponential(mean_ms) : mean_ms));
+    senders.push_back(std::move(s));
+  }
+
+  // Offered load runs across warmup + duration; the evaluation window is
+  // carved out by the tracker afterwards. (The sim harness keeps its
+  // arrival processes ticking through cooldown too, so offered/refused
+  // totals are not comparable across paths — the windowed delivery
+  // metrics, which exclude cooldown on both, are.)
+  const TimeMs window_end = params.warmup + params.duration;
+  while (true) {
+    TimeMs earliest = window_end;
+    for (const SenderState& s : senders) earliest = std::min(earliest, s.next);
+    if (earliest >= window_end) break;
+    const TimeMs now = rel_now();
+    if (now < earliest) {
+      std::this_thread::sleep_for(milliseconds(earliest - now));
+      continue;
+    }
+    for (SenderState& s : senders) {
+      if (s.next > now || s.next >= window_end) continue;
+      auto payload = gossip::make_payload(
+          std::vector<std::uint8_t>(params.payload_size, 0xab));
+      ++*offered;
+      // Tracker accounting happens in the deliver handler (the origin's
+      // local delivery), atomically with the broadcast itself.
+      if (params.adaptive) {
+        if (s.runtime->try_broadcast(std::move(payload))) {
+          ++*admitted;
+        } else {
+          ++*refused;  // out of tokens: this arrival is refused
+        }
+      } else {
+        s.runtime->broadcast(std::move(payload));
+        ++*admitted;
+      }
+      const double gap = std::max(
+          1.0, params.poisson_arrivals ? s.rng.exponential(mean_ms)
+                                       : mean_ms);
+      s.next += static_cast<TimeMs>(gap);
+    }
+  }
+  // Run the clock out to the end of the traffic window.
+  const TimeMs left = window_end - rel_now();
+  if (left > 0) std::this_thread::sleep_for(milliseconds(left));
+}
+
+WallclockResults WallclockScenario::run() {
+  Impl& im = *impl_;
+  if (im.ran) return {};
+  im.ran = true;
+
+  // The fabric takes the first master-RNG split, exactly where Scenario
+  // seeds its SimNetwork — every later split (the per-node streams) then
+  // lines up with the simulator run of the same seed.
+  const std::uint64_t fabric_seed = im.master_rng.split().next();
+  im.fabric = std::make_unique<runtime::InMemoryFabric>(
+      fabric_params(im.params, im.options), fabric_seed);
+  im.tracker = metrics::DeliveryTracker(im.params.n);
+
+  const auto cluster_map = scenario_cluster_map(im.params);
+  im.runtimes.reserve(im.params.n);
+  for (std::size_t i = 0; i < im.params.n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    auto runtime = std::make_unique<runtime::NodeRuntime>(
+        build_scenario_node(im.params, id, im.master_rng, cluster_map),
+        *im.fabric, [fabric = im.fabric.get()] { return fabric->now(); });
+    runtime->set_deliver_handler(
+        [&im, id](const gossip::Event& e, TimeMs now) {
+          std::lock_guard lock(im.tracker_mutex);
+          const TimeMs t = now - im.epoch;
+          if (e.id.origin == id) {
+            // The origin's local delivery fires inside broadcast(), under
+            // the node lock — before the round thread can emit the event.
+            // Registering the broadcast here (not after broadcast()
+            // returns on the sender thread) means no remote delivery can
+            // ever reach the tracker before its record exists.
+            im.tracker.on_broadcast(e.id, id, t);
+            im.tracker.on_delivery(e.id, id, t);
+            return;
+          }
+          ++im.app_deliveries;
+          im.tracker.on_delivery(e.id, id, t);
+        });
+    im.runtimes.push_back(std::move(runtime));
+  }
+
+  // Merge the failure and capacity schedules into one timeline for the
+  // scheduler thread (stable order for equal times: failures first, like
+  // Scenario registering failure callbacks after capacity ones matters
+  // only to ties, which neither path promises an order for).
+  std::vector<ScheduledAction> actions;
+  actions.reserve(im.params.failure_schedule.size() +
+                  im.params.capacity_schedule.size());
+  for (const FailureEvent& event : im.params.failure_schedule) {
+    actions.push_back({event.at, true, event, {}});
+  }
+  for (const CapacityChange& change : im.params.capacity_schedule) {
+    actions.push_back({change.at, false, {}, change});
+  }
+  std::stable_sort(actions.begin(), actions.end(),
+                   [](const ScheduledAction& a, const ScheduledAction& b) {
+                     return a.at < b.at;
+                   });
+
+  im.epoch = im.fabric->now();
+  for (auto& runtime : im.runtimes) runtime->start();
+  if (!actions.empty()) {
+    im.scheduler = std::thread(
+        [&im, actions = std::move(actions)]() mutable {
+          im.scheduler_loop(std::move(actions));
+        });
+  }
+
+  WallclockResults results;
+  im.run_senders(&results.offered, &results.admitted,
+                 &results.refused_broadcasts);
+
+  // Traffic-window snapshot: the cooldown below only lets in-flight gossip
+  // land, and folding its idle tail into elapsed would understate
+  // datagrams/s.
+  results.fabric_delivered = im.fabric->delivered();
+  results.elapsed_s = static_cast<double>(im.rel_now()) / 1000.0;
+
+  if (im.params.cooldown > 0) {
+    std::this_thread::sleep_for(milliseconds(im.params.cooldown));
+  }
+  if (im.scheduler.joinable()) {
+    {
+      std::lock_guard lock(im.sched_mutex);
+      im.sched_stop = true;
+    }
+    im.sched_cv.notify_all();
+    im.scheduler.join();
+  }
+  for (auto& runtime : im.runtimes) runtime->stop();
+
+  const TimeMs eval_start = im.params.warmup;
+  const TimeMs eval_end = im.params.warmup + im.params.duration;
+  {
+    std::lock_guard lock(im.tracker_mutex);
+    results.delivery = im.tracker.report(eval_start, eval_end);
+    results.app_deliveries = im.app_deliveries;
+  }
+  results.offered_rate = im.params.offered_rate;
+  results.input_rate = results.delivery.input_rate;
+  results.output_rate = results.delivery.output_rate;
+  results.fabric_dropped = im.fabric->dropped();
+  results.fabric_dropped_down = im.fabric->dropped_down();
+  results.sent_intra_cluster = im.fabric->sent_intra_cluster();
+  results.sent_cross_cluster = im.fabric->sent_cross_cluster();
+  for (auto& runtime : im.runtimes) {
+    const auto counters = runtime->counters();
+    results.overflow_drops += counters.drops_overflow;
+    results.age_limit_drops += counters.drops_age_limit;
+    results.membership_sizes.push_back(runtime->membership_size());
+  }
+  for (std::size_t s = 0; s < im.fabric->shard_count(); ++s) {
+    results.shard_depths.push_back(im.fabric->max_queue_depth(s));
+  }
+  return results;
+}
+
+}  // namespace agb::core

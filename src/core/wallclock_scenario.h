@@ -1,0 +1,98 @@
+// Wall-clock twin of core::Scenario: the same ScenarioParams, run on real
+// threads instead of the discrete-event simulator.
+//
+// Every ScenarioRegistry preset the simulator can run, this runner can run
+// too: nodes are built by the shared core::build_scenario_node (identical
+// master-RNG split sequence, so the same seed yields the same initial
+// views, locality decorations and bridge elections on both paths), driven
+// by runtime::NodeRuntime round threads over a sharded
+// runtime::InMemoryFabric carrying the preset's network model (latency
+// range, WAN cluster topology, i.i.d. or bursty loss). A scheduler thread
+// replays the failure and capacity schedules against the fabric clock:
+// crash/recover maps to InMemoryFabric::set_node_up, the perfect
+// failure-detector flag maps to NodeRuntime membership updates on every
+// survivor, and capacity changes map to NodeRuntime::set_capacity — the
+// exact moves Scenario makes in virtual time.
+//
+// warmup/duration/cooldown are *real* milliseconds here; metrics use the
+// same evaluation-window rules as the simulator (metrics::DeliveryTracker
+// over [warmup, warmup+duration)). The scenario-parity conformance suite
+// (tests/scenario_parity_test.cc) runs every registry preset through both
+// paths and asserts they agree on the preset's invariants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "metrics/delivery_tracker.h"
+
+namespace agb::core {
+
+struct WallclockOptions {
+  /// Receiver shards of the InMemoryFabric (see its Params::shards).
+  std::size_t shards = 4;
+  std::size_t max_burst = 64;
+};
+
+struct WallclockResults {
+  /// Evaluation-window metrics, same rules as the simulator path.
+  metrics::DeliveryReport delivery;
+
+  double offered_rate = 0.0;  // configured aggregate
+  double input_rate = 0.0;    // measured admitted broadcasts /s
+  double output_rate = 0.0;   // messages reaching >95 % of nodes /s
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t refused_broadcasts = 0;  // adaptive token gate said no
+  std::uint64_t overflow_drops = 0;
+  std::uint64_t age_limit_drops = 0;
+
+  /// Fabric receipts. `fabric_delivered` and `elapsed_s` are snapshotted
+  /// at the end of the traffic window (throughput excludes the idle
+  /// cooldown tail); the drop counters are final values.
+  std::uint64_t fabric_delivered = 0;
+  std::uint64_t fabric_dropped = 0;
+  std::uint64_t fabric_dropped_down = 0;
+  std::uint64_t sent_intra_cluster = 0;
+  std::uint64_t sent_cross_cluster = 0;
+  double elapsed_s = 0.0;
+
+  std::uint64_t app_deliveries = 0;  // deliver-handler firings, non-origin
+
+  /// Post-run state per node / per shard.
+  std::vector<std::size_t> membership_sizes;
+  std::vector<std::size_t> shard_depths;
+};
+
+class WallclockScenario {
+ public:
+  /// Validates eagerly: throws std::invalid_argument (see validate()) for
+  /// params that need a simulator-only feature.
+  explicit WallclockScenario(ScenarioParams params,
+                             WallclockOptions options = {});
+  ~WallclockScenario();
+
+  WallclockScenario(const WallclockScenario&) = delete;
+  WallclockScenario& operator=(const WallclockScenario&) = delete;
+
+  /// The hard compatibility gate: throws std::invalid_argument naming
+  /// every feature of `params` the wall-clock path cannot honour, so a
+  /// preset never runs with part of its configuration silently dropped.
+  /// Today that is the normal (Gaussian) latency model and per-link
+  /// latency overrides; everything else — partial views, locality +
+  /// bridges, WAN clusters, burst loss, failure and capacity schedules —
+  /// runs for real.
+  static void validate(const ScenarioParams& params);
+
+  /// Runs the experiment in real time (warmup + duration + cooldown
+  /// milliseconds of wall clock) and returns the report. Call once.
+  WallclockResults run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace agb::core

@@ -13,6 +13,15 @@
 // the very next round. Everything else (add/remove/contains/size/
 // snapshot) forwards to the wrapped view, so the lpbcast subs/unsubs
 // machinery keeps working underneath.
+//
+// Threading: LocalityView is not internally synchronised — like every
+// Membership it relies on its driver's serialisation. Under the simulator
+// that is the single event loop; on the wall-clock path every call
+// (targets() on the round thread, add/remove from the failure-detector
+// scheduler, digest updates on dispatcher threads) arrives through
+// runtime::NodeRuntime, whose node lock serialises them — which is also
+// what makes bridge re-election atomic with the membership change that
+// triggered it.
 #pragma once
 
 #include <memory>

@@ -17,7 +17,10 @@ std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard) {
 
 InMemoryFabric::InMemoryFabric(Params params, std::uint64_t seed)
     : params_(params),
-      zero_delay_(params.min_delay <= 0 && params.max_delay <= 0),
+      zero_delay_(params.min_delay <= 0 && params.max_delay <= 0 &&
+                  (params.clusters <= 1 || (params.wan_min_delay <= 0 &&
+                                            params.wan_max_delay <= 0))),
+      has_loss_(params.loss_probability > 0.0 || params.burst_loss),
       epoch_(std::chrono::steady_clock::now()) {
   // Round the shard count up to a power of two so node -> shard/slot is a
   // mask and a shift instead of a division.
@@ -77,8 +80,82 @@ void InMemoryFabric::detach(NodeId node) {
   }
 }
 
+bool InMemoryFabric::loss_drop(Shard& shard) {
+  if (!params_.burst_loss) {
+    return shard.rng.bernoulli(params_.loss_probability);
+  }
+  // Advance the shard's Gilbert-Elliott chain once per datagram, then
+  // sample the state-conditional drop probability (sim::SimNetwork's rule,
+  // one chain per shard instead of one global chain).
+  if (shard.burst_bad) {
+    if (shard.rng.bernoulli(params_.loss_p_bg)) shard.burst_bad = false;
+  } else {
+    if (shard.rng.bernoulli(params_.loss_p_gb)) shard.burst_bad = true;
+  }
+  return shard.rng.bernoulli(shard.burst_bad ? params_.loss_p_bad
+                                             : params_.loss_p_good);
+}
+
+bool InMemoryFabric::is_down(NodeId node) const {
+  std::lock_guard lock(down_mutex_);
+  return down_.contains(node);
+}
+
+void InMemoryFabric::set_node_up(NodeId node, bool up) {
+  std::lock_guard lock(down_mutex_);
+  if (up) {
+    down_.erase(node);
+  } else {
+    down_.insert(node);
+  }
+  down_count_.store(down_.size(), std::memory_order_release);
+}
+
+bool InMemoryFabric::node_up(NodeId node) const {
+  if (down_count_.load(std::memory_order_acquire) == 0) return true;
+  return !is_down(node);
+}
+
 void InMemoryFabric::send_batch(Multicast batch) {
   const std::size_t count = shards_.size();
+  // The intra/cross split mirrors sim::NetworkStats.sent: counted per
+  // addressed target, before any drop, so the WAN-traffic share reflects
+  // what the sender put on the wire.
+  if (params_.clusters > 1) {
+    const NodeId from_cluster =
+        batch.from % static_cast<NodeId>(params_.clusters);
+    std::size_t cross = 0;
+    for (NodeId to : batch.targets) {
+      if (to % static_cast<NodeId>(params_.clusters) != from_cluster) ++cross;
+    }
+    sent_cross_cluster_.fetch_add(cross, std::memory_order_relaxed);
+    sent_intra_cluster_.fetch_add(batch.targets.size() - cross,
+                                  std::memory_order_relaxed);
+  } else {
+    sent_intra_cluster_.fetch_add(batch.targets.size(),
+                                  std::memory_order_relaxed);
+  }
+
+  // Liveness filter (only when anyone is down at all): a down sender's
+  // whole fan-out is suppressed; down receivers are filtered per target.
+  // The snapshot is sorted (std::set order), so the per-target probe is a
+  // binary search without re-taking the mutex.
+  thread_local std::vector<NodeId> down_snapshot;
+  down_snapshot.clear();
+  if (down_count_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard lock(down_mutex_);
+    if (down_.contains(batch.from)) {
+      dropped_down_.fetch_add(batch.targets.size(),
+                              std::memory_order_relaxed);
+      return;
+    }
+    down_snapshot.assign(down_.begin(), down_.end());
+  }
+  const auto target_down = [&](NodeId to) {
+    return !down_snapshot.empty() &&
+           std::binary_search(down_snapshot.begin(), down_snapshot.end(), to);
+  };
+
   // Split the fan-out per shard in ONE pass over the targets, outside any
   // lock. The scratch sublists are thread-local so a steady-state sender
   // allocates nothing here.
@@ -87,8 +164,22 @@ void InMemoryFabric::send_batch(Multicast batch) {
     if (scratch.size() < count) scratch.resize(count);
     for (std::size_t i = 0; i < count; ++i) scratch[i].clear();
     for (NodeId to : batch.targets) {
+      if (target_down(to)) {
+        dropped_down_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       scratch[static_cast<std::size_t>(to) & shard_mask_].push_back(to);
     }
+  } else if (!down_snapshot.empty()) {
+    std::size_t kept = 0;
+    for (NodeId to : batch.targets) {
+      if (target_down(to)) {
+        dropped_down_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        batch.targets[kept++] = to;
+      }
+    }
+    batch.targets.resize(kept);
   }
   for (std::size_t i = 0; i < count; ++i) {
     Shard& shard = *shards_[i];
@@ -103,10 +194,10 @@ void InMemoryFabric::send_batch(Multicast batch) {
       std::lock_guard lock(shard.mutex);
       send_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
       if (shard.stopping) continue;
-      if (params_.loss_probability > 0.0) {
+      if (has_loss_) {
         std::size_t kept = 0;
         for (NodeId to : sub) {
-          if (shard.rng.bernoulli(params_.loss_probability)) {
+          if (loss_drop(shard)) {
             dropped_.fetch_add(1, std::memory_order_relaxed);
           } else {
             sub[kept++] = to;
@@ -123,14 +214,23 @@ void InMemoryFabric::send_batch(Multicast batch) {
               ReadyBatch{batch.from, batch.payload, std::move(sub)});
         } else {
           const TimeMs base = now();
-          const DurationMs spread = params_.max_delay - params_.min_delay;
+          const NodeId clusters = static_cast<NodeId>(params_.clusters);
           for (NodeId to : sub) {
+            // Cluster rule: a boundary-crossing datagram rides the WAN
+            // delay range, an intra-cluster one the LAN range — the
+            // wall-clock twin of SimNetwork's latency selection.
+            const bool cross =
+                clusters > 1 && batch.from % clusters != to % clusters;
+            const DurationMs lo =
+                cross ? params_.wan_min_delay : params_.min_delay;
+            const DurationMs hi =
+                cross ? params_.wan_max_delay : params_.max_delay;
+            const DurationMs spread = hi - lo;
             const DurationMs delay =
-                params_.min_delay +
-                (spread > 0
-                     ? static_cast<DurationMs>(shard.rng.next_below(
-                           static_cast<std::uint64_t>(spread) + 1))
-                     : 0);
+                lo + (spread > 0
+                          ? static_cast<DurationMs>(shard.rng.next_below(
+                                static_cast<std::uint64_t>(spread) + 1))
+                          : 0);
             // Each entry aliases the batch payload: a refcount bump per
             // target. Equal due times keep insertion order (multimap),
             // preserving per-receiver FIFO.
@@ -204,12 +304,24 @@ void InMemoryFabric::dispatch_loop(Shard& shard) {
   const std::size_t drain_cap = std::max<std::size_t>(1024, max_burst);
   std::unique_lock lock(shard.mutex);
   shard.dispatcher_id = std::this_thread::get_id();
-  // Sorts a drained datagram into its receiver's bucket — or drops it on
-  // the floor right here when the receiver is unknown or detached.
+  // Down-node snapshot for the current drain cycle (sorted: std::set
+  // order), refreshed once per cycle below — so the per-datagram liveness
+  // probe is a binary search, never a global mutex, and dispatchers don't
+  // serialise on down_mutex_ during churn windows.
+  std::vector<NodeId> down_now;
   auto bucket_push = [&](Datagram&& datagram) {
+    // Sorts a drained datagram into its receiver's bucket — or drops it on
+    // the floor right here when the receiver is unknown or detached.
     const std::size_t slot = slot_of(datagram.to);
     if (slot >= shard.handlers.size() || !shard.handlers[slot]) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Receiver crashed while the datagram was in flight: re-check at
+    // delivery time, as the simulator does (granularity: one drain cycle).
+    if (!down_now.empty() &&
+        std::binary_search(down_now.begin(), down_now.end(), datagram.to)) {
+      dropped_down_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     std::vector<Datagram>& bucket = shard.buckets[slot];
@@ -233,6 +345,13 @@ void InMemoryFabric::dispatch_loop(Shard& shard) {
         shard.waiting = false;
         continue;
       }
+    }
+    // Refresh the liveness snapshot for this drain cycle: one mutex
+    // acquisition per cycle (and none at all while nothing is down).
+    down_now.clear();
+    if (down_count_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard down_lock(down_mutex_);
+      down_now.assign(down_.begin(), down_.end());
     }
     // Drain every currently-due entry in one pass (O(due), not O(queue)
     // per delivery) and group per receiver. Entries land in their

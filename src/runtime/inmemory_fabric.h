@@ -3,7 +3,12 @@
 // The paper validates its simulations against a prototype running on 60
 // workstations; our runtime substitutes an in-process fabric: real threads,
 // real wall-clock timing, real serialized datagrams, optional loss and
-// delay injection.
+// delay injection. The network models mirror the simulator's: i.i.d. or
+// bursty Gilbert-Elliott loss, a WAN cluster rule (node i lives in cluster
+// i % clusters; cross-cluster datagrams sample the wan delay range instead
+// of the LAN one, and the intra/cross split is counted like
+// sim::NetworkStats), and per-node crash/recover via set_node_up — so every
+// scenario the simulator can price, the wall-clock path can run.
 //
 // The fabric is sharded by receiver: node n belongs to shard n % shards,
 // and each shard owns its own delay-ordered queue and dispatcher thread.
@@ -26,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -40,8 +46,24 @@ class InMemoryFabric final : public DatagramNetwork {
  public:
   struct Params {
     double loss_probability = 0.0;
+    /// Bursty Gilbert-Elliott loss (the correlated-loss regime the paper
+    /// singles out): when enabled it replaces `loss_probability`. Each
+    /// shard advances its own two-state chain — per-shard streams, the
+    /// same statistics as the simulator's single chain.
+    bool burst_loss = false;
+    double loss_p_good = 0.0;
+    double loss_p_bad = 0.9;
+    double loss_p_gb = 0.01;
+    double loss_p_bg = 0.2;
     DurationMs min_delay = 0;
     DurationMs max_delay = 2;
+    /// WAN cluster rule, mirroring sim::NetworkParams: with clusters > 1,
+    /// node i belongs to cluster i % clusters and a datagram crossing a
+    /// cluster boundary samples [wan_min_delay, wan_max_delay] instead of
+    /// [min_delay, max_delay].
+    std::size_t clusters = 1;
+    DurationMs wan_min_delay = 20;
+    DurationMs wan_max_delay = 60;
     /// Receiver shards, each with its own delay queue + dispatcher thread.
     /// Rounded up to a power of two (shard addressing is a mask, not a
     /// division); 1 reproduces the classic single-dispatcher fabric.
@@ -77,6 +99,16 @@ class InMemoryFabric final : public DatagramNetwork {
   /// Loss and delay are still sampled per target.
   void send_batch(Multicast batch) override;
 
+  /// Crash/recover, the wall-clock twin of sim::SimNetwork::set_node_up: a
+  /// down node neither sends nor receives (its handler stays attached, so
+  /// recovery is just set_node_up(node, true)). Sends from a down node and
+  /// deliveries to one are counted in dropped_down(); datagrams already in
+  /// flight when the receiver goes down are re-checked at delivery time,
+  /// like the simulator does. Thread-safe against concurrent senders and
+  /// dispatchers.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+
   /// Milliseconds since the fabric was created (the runtime's clock).
   [[nodiscard]] TimeMs now() const;
 
@@ -85,6 +117,22 @@ class InMemoryFabric final : public DatagramNetwork {
   }
   [[nodiscard]] std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Datagrams suppressed because an endpoint was down (set_node_up), kept
+  /// apart from dropped() so churn runs can tell failure suppression from
+  /// loss — the counter scenario churn conformance asserts on.
+  [[nodiscard]] std::uint64_t dropped_down() const {
+    return dropped_down_.load(std::memory_order_relaxed);
+  }
+
+  /// The `sent` split of sim::NetworkStats, counted per addressed target
+  /// before any drop: with Params::clusters <= 1 everything is intra.
+  [[nodiscard]] std::uint64_t sent_intra_cluster() const {
+    return sent_intra_cluster_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sent_cross_cluster() const {
+    return sent_cross_cluster_.load(std::memory_order_relaxed);
   }
 
   /// How many times the send path took a shard lock. A fan-out costs one
@@ -138,6 +186,9 @@ class InMemoryFabric final : public DatagramNetwork {
     std::size_t ready_count = 0;  // datagrams across `ready` batches
     std::vector<BatchHandler> handlers;  // slot-indexed; empty = detached
     Rng rng{1};
+    /// Gilbert-Elliott chain state (Params::burst_loss): one chain per
+    /// shard, advanced per datagram under `mutex`.
+    bool burst_bad = false;
     bool stopping = false;
     /// True while the dispatcher sits in a cv wait: senders skip the
     /// notify (a futex syscall) when the dispatcher is awake anyway —
@@ -174,15 +225,33 @@ class InMemoryFabric final : public DatagramNetwork {
 
   void dispatch_loop(Shard& shard);
 
+  /// Samples the loss process for one datagram (caller holds shard.mutex).
+  [[nodiscard]] bool loss_drop(Shard& shard);
+
+  /// Slow-path liveness probe, gated by `down_count_` at every call site so
+  /// fabrics with no failures never touch the mutex.
+  [[nodiscard]] bool is_down(NodeId node) const;
+
   Params params_;
   /// No delay to model: every datagram goes through the Shard::ready FIFO.
   bool zero_delay_;
+  bool has_loss_;
   std::size_t shard_mask_ = 0;
   unsigned shard_shift_ = 0;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Crashed nodes (set_node_up). The atomic count lets the hot paths skip
+  /// the mutex entirely while nothing is down — the common case. Leaf lock:
+  /// taken inside shard mutexes (delivery-time re-check), never the other
+  /// way around.
+  mutable std::mutex down_mutex_;
+  std::set<NodeId> down_;
+  std::atomic<std::size_t> down_count_{0};
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> dropped_down_{0};
+  std::atomic<std::uint64_t> sent_intra_cluster_{0};
+  std::atomic<std::uint64_t> sent_cross_cluster_{0};
   std::atomic<std::uint64_t> send_lock_acquisitions_{0};
 };
 

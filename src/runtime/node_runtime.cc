@@ -124,6 +124,21 @@ double NodeRuntime::avg_age() const {
   return adaptive_ ? adaptive_->avg_age() : 0.0;
 }
 
+void NodeRuntime::add_member(NodeId node) {
+  std::lock_guard lock(mutex_);
+  node_->membership().add(node);
+}
+
+void NodeRuntime::remove_member(NodeId node) {
+  std::lock_guard lock(mutex_);
+  node_->membership().remove(node);
+}
+
+std::size_t NodeRuntime::membership_size() const {
+  std::lock_guard lock(mutex_);
+  return node_->membership().size();
+}
+
 void NodeRuntime::set_capacity(std::size_t max_events) {
   std::lock_guard lock(mutex_);
   if (adaptive_ != nullptr) {

@@ -63,6 +63,16 @@ class NodeRuntime {
   /// Runtime equivalent of the dynamic-resources experiment.
   void set_capacity(std::size_t max_events);
 
+  /// Membership maintenance from outside the protocol: the wall-clock
+  /// failure-detector path (core::WallclockScenario's scheduler thread)
+  /// tells survivors about crashes/recoveries here, the same role
+  /// FailureEvent + failure_detector plays under the simulator. Serialised
+  /// with the round/receive paths by the node lock, so a LocalityView's
+  /// bridge re-election sees the update atomically.
+  void add_member(NodeId node);
+  void remove_member(NodeId node);
+  [[nodiscard]] std::size_t membership_size() const;
+
  private:
   void round_loop();
   void on_datagram_batch(const Datagram* batch, std::size_t count,

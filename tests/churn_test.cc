@@ -2,11 +2,17 @@
 // nodes subscribe (join with a seed contact) and unsubscribe (circulate an
 // unsub notice) while gossip keeps flowing. These tests exercise the
 // lpbcast membership maintenance that the Scenario harness's static groups
-// do not reach.
+// do not reach — plus the wall-clock mirror of the bridge-crash case:
+// the same locality re-election, on real NodeRuntime threads over the
+// inmemory fabric instead of the simulator.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "gossip/lpbcast_node.h"
@@ -14,6 +20,8 @@
 #include "membership/full_membership.h"
 #include "membership/locality_view.h"
 #include "membership/partial_view.h"
+#include "runtime/inmemory_fabric.h"
+#include "runtime/node_runtime.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -222,6 +230,113 @@ TEST(ChurnTest, BridgeCrashReelectsSuccessorAndCrossDeliveryRecovers) {
   cluster.sim.run_until(40'000);
   EXPECT_EQ(receivers.size(), kGroup - 1) << "post-crash delivery incomplete";
   EXPECT_FALSE(receivers.contains(1));
+}
+
+TEST(ChurnTest, WallclockBridgeCrashReelectsSuccessorAndCrossDeliveryRecovers) {
+  // The wall-clock mirror of BridgeCrashReelectsSuccessorAndCrossDelivery-
+  // Recovers: the same two-island locality group (even/odd ids, one bridge
+  // per cluster), but on real NodeRuntime threads over the inmemory fabric.
+  // Crash the odd island's bridge mid-run with set_node_up and propagate
+  // the failure to the survivors' memberships through NodeRuntime (the
+  // failure-detector role WallclockScenario's scheduler plays): cross-
+  // cluster delivery must recover through the re-elected bridge.
+  using namespace std::chrono_literals;
+  constexpr NodeId kGroup = 12;
+
+  const auto eventually = [](const std::function<bool()>& predicate) {
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < 10'000ms) {
+      if (predicate()) return true;
+      std::this_thread::sleep_for(5ms);
+    }
+    return predicate();
+  };
+
+  runtime::InMemoryFabric fabric({.shards = 4});
+  auto map = std::make_shared<membership::ModuloClusterMap>(2);
+  Rng master{2024};
+  std::mutex mu;
+  std::set<NodeId> receivers;
+  NodeId tracked_origin = kInvalidNode;
+  std::vector<membership::LocalityView*> views;
+  std::vector<std::unique_ptr<runtime::NodeRuntime>> runtimes;
+  for (NodeId id = 0; id < kGroup; ++id) {
+    auto inner =
+        std::make_unique<membership::FullMembership>(id, master.split());
+    for (NodeId peer = 0; peer < kGroup; ++peer) {
+      if (peer != id) inner->add(peer);
+    }
+    membership::LocalityParams locality;
+    locality.enabled = true;
+    locality.p_local = 0.7;
+    auto view = std::make_unique<membership::LocalityView>(
+        id, locality, map, std::move(inner), master.split());
+    views.push_back(view.get());
+    GossipParams params;
+    params.fanout = 3;
+    params.gossip_period = 50;
+    params.max_events = 100;
+    params.max_event_ids = 1000;
+    params.max_age = 20;
+    auto runtime = std::make_unique<runtime::NodeRuntime>(
+        std::make_unique<LpbcastNode>(id, params, std::move(view),
+                                      master.split()),
+        fabric, [&fabric] { return fabric.now(); });
+    runtime->set_deliver_handler(
+        [&mu, &receivers, &tracked_origin, id](const Event& e, TimeMs) {
+          std::lock_guard lock(mu);
+          if (e.id.origin == tracked_origin) receivers.insert(id);
+        });
+    runtimes.push_back(std::move(runtime));
+  }
+  for (auto& runtime : runtimes) runtime->start();
+
+  // Pre-crash: an even-island broadcast reaches the whole group.
+  {
+    std::lock_guard lock(mu);
+    tracked_origin = 0;
+    receivers.clear();
+  }
+  runtimes[0]->broadcast(make_payload({0x51}));
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard lock(mu);
+    return receivers.size() == kGroup;
+  })) << "pre-crash dissemination incomplete";
+
+  // Crash the odd island's bridge (node 1: its lowest id) and tell the
+  // survivors, as the wall-clock failure-detector path does.
+  fabric.set_node_up(1, false);
+  EXPECT_FALSE(fabric.node_up(1));
+  EXPECT_TRUE(fabric.node_up(0));
+  for (auto& runtime : runtimes) {
+    if (runtime->id() != 1) runtime->remove_member(1);
+  }
+
+  // A fresh even-island broadcast still reaches every live node: the
+  // cross-cluster funnel now runs through the re-elected bridge (node 3).
+  {
+    std::lock_guard lock(mu);
+    tracked_origin = 4;
+    receivers.clear();
+  }
+  runtimes[4]->broadcast(make_payload({0x52}));
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard lock(mu);
+    return receivers.size() >= kGroup - 1;
+  })) << "post-crash cross-cluster delivery did not recover";
+  {
+    std::lock_guard lock(mu);
+    EXPECT_FALSE(receivers.contains(1));
+  }
+
+  for (auto& runtime : runtimes) runtime->stop();
+  // Round threads are joined: reading the views directly is safe. Every
+  // survivor agrees on the successor.
+  for (NodeId id = 0; id < kGroup; ++id) {
+    if (id == 1) continue;
+    EXPECT_EQ(views[id]->bridges_of(1), std::vector<NodeId>{3})
+        << "node " << id << " did not re-elect";
+  }
 }
 
 TEST(ChurnTest, PartialViewGroupDeliversBroadcasts) {

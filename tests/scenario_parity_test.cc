@@ -1,0 +1,253 @@
+// Scenario conformance: every ScenarioRegistry preset runs through BOTH
+// execution paths — the discrete-event simulator (core::Scenario) and real
+// NodeRuntime threads over the sharded InMemoryFabric
+// (core::WallclockScenario) — from the same seed on a scaled-down group,
+// and the two paths must agree on the preset's invariants: delivery-ratio
+// floors, the WAN intra/cross traffic split (locality bias must actually
+// bias on real threads), failure-schedule suppression (down nodes really
+// drop traffic) and membership sizes after churn. Wall-clock timing is not
+// deterministic, so the contract is invariant bounds on both paths, not
+// bitwise equality — but the bounds are the preset's point: a locality
+// preset whose wall-clock run stops biasing, or a churn preset whose
+// schedule stops firing, fails here.
+//
+// The suite enumerates the registry at runtime: a preset added without a
+// parity entry still runs with the generic bounds, and the final coverage
+// assertion fails if any registered preset was skipped.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/scenario.h"
+#include "core/scenario_registry.h"
+#include "core/wallclock_scenario.h"
+
+namespace agb::core {
+namespace {
+
+/// Invariant bounds for one preset; the defaults are the generic contract
+/// every preset must meet at the scaled-down size.
+struct ParityBounds {
+  double min_receiver_pct = 85.0;
+  double max_cross_share = -1.0;  // < 0: unbounded
+  double min_cross_share = -1.0;
+  std::vector<std::string> overrides;  // preset-specific scale-down knobs
+};
+
+/// Scaled-down run: small group, 50 ms rounds, a 2 s real-time evaluation
+/// window — large enough for dozens of gossip rounds, small enough that
+/// running every preset twice stays ctest-friendly.
+Config make_config(const ParityBounds& bounds) {
+  Config cfg;
+  std::string error;
+  for (const char* pair :
+       {"n=12", "senders=3", "rate=30", "quick=1", "period_ms=50",
+        "warmup_s=1", "duration_s=2", "cooldown_s=1", "seed=11"}) {
+    EXPECT_TRUE(cfg.parse_pair(pair, &error)) << error;
+  }
+  for (const std::string& pair : bounds.overrides) {
+    EXPECT_TRUE(cfg.parse_pair(pair, &error)) << error;
+  }
+  return cfg;
+}
+
+/// Preset-specific bounds. WAN presets get 5 nodes per island so the local
+/// pool covers the fanout (the same sizing the sim-only WAN test uses);
+/// churn schedules are compressed to fit the 2 s window.
+const std::map<std::string, ParityBounds>& parity_bounds() {
+  static const std::map<std::string, ParityBounds> bounds{
+      {"paper60", {}},
+      {"fig2", {}},
+      {"fig4", {}},
+      {"fig6", {}},
+      {"fig7", {}},
+      {"fig8", {}},
+      {"fig9", {85.0, -1.0, -1.0, {"t1_s=1", "t2_s=2"}}},
+      {"churn",
+       {70.0, -1.0, -1.0,
+        {"churn_every_s=1", "churn_down_s=1", "churn_count=2"}}},
+      {"burst-loss", {55.0}},
+      {"semantic-streams", {60.0}},
+      // Uniform selection spreads fanout over the whole group: with three
+      // islands most datagrams cross. Locality bias must push the cross
+      // share under the uniform floor by a wide margin on BOTH paths.
+      {"wan-clusters", {85.0, -1.0, 0.5, {"n=15"}}},
+      {"wan-directional", {75.0, 0.4, 0.0, {"n=15"}}},
+      {"wan-directional-churn",
+       {60.0, 0.45, 0.0,
+        {"n=15", "churn_every_s=1", "churn_down_s=1", "churn_count=2"}}},
+  };
+  return bounds;
+}
+
+struct PairResults {
+  ScenarioResults sim;
+  std::vector<std::size_t> sim_memberships;
+  WallclockResults wc;
+};
+
+PairResults run_pair(const std::string& name, const Config& cfg) {
+  const ScenarioParams params = ScenarioRegistry::instance().build(name, cfg);
+  PairResults out;
+  {
+    Scenario scenario(params);
+    out.sim = scenario.run();
+    for (const auto& node : scenario.nodes()) {
+      out.sim_memberships.push_back(node->membership().size());
+    }
+  }
+  WallclockScenario wallclock(params, WallclockOptions{.shards = 4});
+  out.wc = wallclock.run();
+  return out;
+}
+
+double cross_share(std::uint64_t intra, std::uint64_t cross) {
+  const std::uint64_t sent = intra + cross;
+  return sent == 0 ? 0.0
+                   : static_cast<double>(cross) / static_cast<double>(sent);
+}
+
+void assert_invariants(const ScenarioParams& params, const PairResults& r,
+                       const ParityBounds& bounds) {
+  // Both paths evaluated real traffic and met the preset's delivery floor.
+  EXPECT_GT(r.sim.delivery.messages, 0u);
+  EXPECT_GT(r.wc.delivery.messages, 0u);
+  EXPECT_GE(r.sim.delivery.avg_receiver_pct, bounds.min_receiver_pct);
+  EXPECT_GE(r.wc.delivery.avg_receiver_pct, bounds.min_receiver_pct);
+
+  // WAN topology: both paths split traffic by the same cluster rule, and
+  // the share lands on the same side of the preset's bound.
+  if (params.network.clusters > 1) {
+    const double sim_share = cross_share(r.sim.net.sent_intra_cluster,
+                                         r.sim.net.sent_cross_cluster);
+    const double wc_share =
+        cross_share(r.wc.sent_intra_cluster, r.wc.sent_cross_cluster);
+    EXPECT_GT(r.sim.net.sent_intra_cluster, 0u);
+    EXPECT_GT(r.wc.sent_intra_cluster, 0u);
+    EXPECT_GT(r.sim.net.sent_cross_cluster, 0u);
+    EXPECT_GT(r.wc.sent_cross_cluster, 0u);
+    if (bounds.max_cross_share >= 0.0) {
+      EXPECT_LE(sim_share, bounds.max_cross_share);
+      EXPECT_LE(wc_share, bounds.max_cross_share);
+    }
+    if (bounds.min_cross_share >= 0.0) {
+      EXPECT_GE(sim_share, bounds.min_cross_share);
+      EXPECT_GE(wc_share, bounds.min_cross_share);
+    }
+  }
+
+  // A failure schedule must actually fire: down nodes suppress traffic on
+  // both paths (the wall-clock scheduler thread really detached them).
+  if (!params.failure_schedule.empty()) {
+    EXPECT_GT(r.sim.net.dropped_down, 0u);
+    EXPECT_GT(r.wc.fabric_dropped_down, 0u);
+  }
+
+  // Membership after the run. Full-membership groups end at n-1 on both
+  // paths — churned nodes were re-added on recovery (the failure-detector
+  // path), or never left the views at all. Partial views stay bounded.
+  ASSERT_EQ(r.sim_memberships.size(), params.n);
+  ASSERT_EQ(r.wc.membership_sizes.size(), params.n);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    if (params.partial_view) {
+      EXPECT_GE(r.sim_memberships[i], 1u) << "node " << i;
+      EXPECT_LE(r.sim_memberships[i], params.view_params.max_view)
+          << "node " << i;
+      EXPECT_GE(r.wc.membership_sizes[i], 1u) << "node " << i;
+      EXPECT_LE(r.wc.membership_sizes[i], params.view_params.max_view)
+          << "node " << i;
+    } else {
+      EXPECT_EQ(r.sim_memberships[i], params.n - 1) << "node " << i;
+      EXPECT_EQ(r.wc.membership_sizes[i], params.n - 1) << "node " << i;
+    }
+  }
+}
+
+TEST(ScenarioParityTest, EveryRegistryPresetRunsOnBothPaths) {
+  const auto& registry = ScenarioRegistry::instance();
+  std::set<std::string> covered;
+  for (const ScenarioPreset* preset : registry.presets()) {
+    SCOPED_TRACE("preset " + preset->name);
+    ParityBounds bounds;  // generic contract for presets without an entry
+    bounds.min_receiver_pct = 70.0;
+    if (auto it = parity_bounds().find(preset->name);
+        it != parity_bounds().end()) {
+      bounds = it->second;
+    }
+    const Config cfg = make_config(bounds);
+    const ScenarioParams params = registry.build(preset->name, cfg);
+    const PairResults results = run_pair(preset->name, cfg);
+    assert_invariants(params, results, bounds);
+    covered.insert(preset->name);
+  }
+  // The coverage gate: every registered preset ran on both paths — a new
+  // preset cannot silently dodge the conformance contract, and the known
+  // catalogue cannot shrink unnoticed.
+  EXPECT_EQ(covered.size(), registry.presets().size());
+  EXPECT_GE(covered.size(), 13u);
+}
+
+TEST(ScenarioParityTest, PartialViewGroupsAgreeOnBothPaths) {
+  // No preset enables lpbcast partial views by default; pin the wall-clock
+  // partial-view path (bootstrap sampling, digest exchange over real
+  // threads) against the simulator explicitly.
+  ParityBounds bounds;
+  bounds.overrides = {"partial_view=1"};
+  const Config cfg = make_config(bounds);
+  const ScenarioParams params =
+      ScenarioRegistry::instance().build("paper60", cfg);
+  ASSERT_TRUE(params.partial_view);
+  const PairResults results = run_pair("paper60", cfg);
+  assert_invariants(params, results, bounds);
+}
+
+TEST(ScenarioParityTest, LocalityOverPartialViewsRunsOnRealThreads) {
+  // The deepest stack: LocalityView decorating a PartialView, on real
+  // threads — bridge election out of partial knowledge must still bias
+  // traffic onto the local island on both paths.
+  ParityBounds bounds;
+  bounds.min_receiver_pct = 60.0;
+  bounds.max_cross_share = 0.5;
+  bounds.overrides = {"n=15", "partial_view=1"};
+  const Config cfg = make_config(bounds);
+  const ScenarioParams params =
+      ScenarioRegistry::instance().build("wan-directional", cfg);
+  ASSERT_TRUE(params.partial_view && params.locality.enabled);
+  const PairResults results = run_pair("wan-directional", cfg);
+  assert_invariants(params, results, bounds);
+}
+
+TEST(ScenarioParityTest, WallclockRejectsSimulatorOnlyFeatures) {
+  // The hard-error contract: a preset feature the wall-clock path cannot
+  // honour throws (agb_sim translates to exit 2) instead of running a
+  // workload the parameters do not describe.
+  ScenarioParams params;
+  params.network.latency = sim::LatencyModel::normal(5.0, 2.0);
+  EXPECT_THROW(WallclockScenario::validate(params), std::invalid_argument);
+
+  params = ScenarioParams{};
+  params.network.clusters = 3;
+  params.network.wan_latency = sim::LatencyModel::normal(40.0, 10.0);
+  EXPECT_THROW(WallclockScenario::validate(params), std::invalid_argument);
+
+  params = ScenarioParams{};
+  params.link_latencies.push_back({0, 1, sim::LatencyModel::fixed(9.0)});
+  EXPECT_THROW(WallclockScenario::validate(params), std::invalid_argument);
+
+  // Everything else is real support now, not a silently-ignored note.
+  params = ScenarioParams{};
+  params.partial_view = true;
+  params.locality.enabled = true;
+  params.network.clusters = 3;
+  params.network.loss = sim::LossModel::burst(0.02, 0.9, 0.05, 0.2);
+  params.failure_schedule.push_back({1000, 3, false});
+  params.capacity_schedule.push_back({1500, 0.2, 45});
+  EXPECT_NO_THROW(WallclockScenario::validate(params));
+}
+
+}  // namespace
+}  // namespace agb::core

@@ -61,23 +61,6 @@ TEST(SharedBytesTest, ByteEqualityIgnoresIdentity) {
   EXPECT_FALSE(a == SharedBytes({1, 2}));
 }
 
-TEST(SharedBytesTest, MutateIsCopyOnWrite) {
-  SharedBytes a{1, 2, 3};
-  // Unique owner: mutation happens in place (no clone, same buffer).
-  const std::uint8_t* before = a.data();
-  a.mutate()[2] = 4;
-  EXPECT_EQ(a.data(), before);
-
-  // Shared: the writer gets a private clone, the reader is untouched.
-  SharedBytes b = a;
-  b.mutate()[0] = 99;
-  EXPECT_NE(a.data(), b.data());
-  EXPECT_EQ(a, (std::vector<std::uint8_t>{1, 2, 4}));
-  EXPECT_EQ(b, (std::vector<std::uint8_t>{99, 2, 4}));
-  EXPECT_EQ(a.use_count(), 1);
-  EXPECT_EQ(b.use_count(), 1);
-}
-
 TEST(SharedBytesTest, SpanConversionFeedsTheCodec) {
   gossip::GossipMessage m;
   m.sender = 5;

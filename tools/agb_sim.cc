@@ -37,30 +37,28 @@
 //   csv=prefix   (writes <prefix>_series.csv)
 //
 // fabric=inmemory runs the preset on the wall-clock runtime instead of the
-// simulator: real threads over runtime::InMemoryFabric (shards=N receiver
-// shards, default 4), reporting end-to-end delivery throughput in
-// datagrams/s. duration_s is then real seconds — keep it small:
-//   agb_sim scenario=paper60 fabric=inmemory n=30 period_ms=50 duration_s=5
+// simulator: real NodeRuntime threads over the sharded InMemoryFabric
+// (shards=N receiver shards, default 4), via core::WallclockScenario. The
+// full preset runs for real — partial views, locality bias + bridges, WAN
+// cluster delays, burst loss, failure and capacity schedules; the few
+// simulator-only features left (latency=normal, per-link overrides) are a
+// hard error (exit 2), never silently dropped. duration_s is then real
+// seconds — keep it small:
+//   agb_sim scenario=wan-directional fabric=inmemory n=30 period_ms=50 duration_s=5
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/config.h"
 #include "core/scenario.h"
 #include "core/scenario_registry.h"
-#include "membership/full_membership.h"
+#include "core/wallclock_scenario.h"
 #include "metrics/table.h"
 #include "metrics/timeseries.h"
-#include "runtime/inmemory_fabric.h"
-#include "runtime/node_runtime.h"
 
 namespace {
 
@@ -134,173 +132,91 @@ int run_sweep(const agb::core::ScenarioPreset& preset, const agb::Config& cfg,
   return 0;
 }
 
-/// Wall-clock twin of the sim run: the same protocol nodes, driven by
-/// runtime::NodeRuntime threads over a sharded InMemoryFabric. Reports
-/// end-to-end delivery throughput (datagrams/s) — the runtime number BENCH
-/// trajectories track next to the simulator's statistics.
+/// Wall-clock twin of the sim run: the full preset — membership mode,
+/// locality, schedules, network model — over runtime::NodeRuntime threads
+/// on the sharded InMemoryFabric, via core::WallclockScenario. Reports the
+/// same reliability metrics as the simulator path plus end-to-end delivery
+/// throughput (datagrams/s), the runtime number BENCH trajectories track.
 int run_wallclock(const agb::core::ScenarioParams& p,
                   const agb::core::ScenarioPreset& preset,
                   std::size_t shards) {
   using namespace agb;
-  using namespace std::chrono;
 
-  runtime::InMemoryFabric::Params fp;
-  fp.shards = shards;
-  switch (p.network.latency.kind) {
-    case sim::LatencyModel::Kind::kFixed:
-      fp.min_delay = fp.max_delay =
-          static_cast<DurationMs>(p.network.latency.a);
-      break;
-    case sim::LatencyModel::Kind::kUniform:
-      fp.min_delay = static_cast<DurationMs>(p.network.latency.a);
-      fp.max_delay = static_cast<DurationMs>(p.network.latency.b);
-      break;
-    case sim::LatencyModel::Kind::kNormal:
-      fp.min_delay = fp.max_delay =
-          static_cast<DurationMs>(p.network.latency.a);
-      std::fprintf(stderr,
-                   "agb_sim: note: normal latency runs as fixed %g ms on "
-                   "the inmemory fabric (no variance)\n",
-                   p.network.latency.a);
-      break;
+  core::WallclockOptions options;
+  options.shards = shards;
+  // An unsupported preset feature is a hard error (exit 2), never a
+  // silently-ignored note: numbers for a workload the preset does not
+  // describe are worse than no numbers.
+  core::WallclockResults r;
+  try {
+    core::WallclockScenario scenario(p, options);
+    r = scenario.run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "agb_sim: %s\n", e.what());
+    return 2;
   }
-  if (p.network.loss.kind == sim::LossModel::Kind::kIid) {
-    fp.loss_probability = p.network.loss.p;
-  } else if (p.network.loss.kind == sim::LossModel::Kind::kBurst) {
-    std::fprintf(stderr,
-                 "agb_sim: note: burst loss is a simulator model; the "
-                 "inmemory fabric runs lossless\n");
-  }
-  // The wall-clock runner drives static full-membership groups: simulator
-  // schedules and topologies do not apply, so say so instead of silently
-  // reporting numbers for a workload the preset does not describe.
-  if (!p.failure_schedule.empty()) {
-    std::fprintf(stderr, "agb_sim: note: failures= schedule is "
-                         "simulator-only; ignored on fabric=inmemory\n");
-  }
-  if (!p.capacity_schedule.empty()) {
-    std::fprintf(stderr, "agb_sim: note: capacity= schedule is "
-                         "simulator-only; ignored on fabric=inmemory\n");
-  }
-  if (p.network.clusters > 1 || !p.link_latencies.empty()) {
-    std::fprintf(stderr, "agb_sim: note: cluster/per-link topology is "
-                         "simulator-only; the inmemory fabric applies one "
-                         "latency model to every link\n");
-  }
-  if (p.partial_view || p.locality.enabled) {
-    std::fprintf(stderr, "agb_sim: note: fabric=inmemory drives static "
-                         "full-membership groups; partial views and "
-                         "locality bias are ignored\n");
-  }
-  runtime::InMemoryFabric fabric(fp, p.seed);
 
-  Rng master(p.seed);
-  std::atomic<std::uint64_t> app_deliveries{0};
-  std::vector<std::unique_ptr<runtime::NodeRuntime>> runtimes;
-  runtimes.reserve(p.n);
-  for (std::size_t i = 0; i < p.n; ++i) {
-    const auto id = static_cast<NodeId>(i);
-    auto members =
-        std::make_unique<membership::FullMembership>(id, master.split());
-    for (std::size_t j = 0; j < p.n; ++j) {
-      if (j != i) members->add(static_cast<NodeId>(j));
-    }
-    std::unique_ptr<gossip::LpbcastNode> node;
-    if (p.adaptive) {
-      node = std::make_unique<adaptive::AdaptiveLpbcastNode>(
-          id, p.gossip, p.adaptation, std::move(members), master.split());
-    } else {
-      node = std::make_unique<gossip::LpbcastNode>(
-          id, p.gossip, std::move(members), master.split());
-    }
-    auto runtime = std::make_unique<runtime::NodeRuntime>(
-        std::move(node), fabric, [&fabric] { return fabric.now(); });
-    runtime->set_deliver_handler([&app_deliveries](const gossip::Event&,
-                                                   TimeMs) {
-      app_deliveries.fetch_add(1, std::memory_order_relaxed);
-    });
-    runtimes.push_back(std::move(runtime));
-  }
-  for (auto& r : runtimes) r->start();
-
-  // Offered load, paced from this thread and spread round-robin over the
-  // sender set (the sim's pick_senders layout: i * n / senders).
-  std::vector<std::size_t> senders;
   const std::size_t sender_count =
       std::max<std::size_t>(1, std::min(p.senders, p.n));
-  for (std::size_t i = 0; i < sender_count; ++i) {
-    senders.push_back(i * p.n / sender_count);
-  }
-  std::uint64_t offered = 0;
-  std::uint64_t admitted = 0;
-  const auto start = steady_clock::now();
-  const auto end = start + milliseconds(p.duration);
-  const double rate = p.offered_rate > 0 ? p.offered_rate : 0.0;
-  if (rate > 0) {
-    const auto interval = duration_cast<steady_clock::duration>(
-        duration<double>(1.0 / rate));
-    auto next = start;
-    std::size_t turn = 0;
-    while (steady_clock::now() < end) {
-      std::this_thread::sleep_until(next);
-      if (steady_clock::now() >= end) break;
-      auto& sender = *runtimes[senders[turn++ % senders.size()]];
-      ++offered;
-      if (p.adaptive) {
-        if (sender.try_broadcast(gossip::make_payload(
-                std::vector<std::uint8_t>(p.payload_size, 0x5a)))) {
-          ++admitted;
-        }
-      } else {
-        sender.broadcast(gossip::make_payload(
-            std::vector<std::uint8_t>(p.payload_size, 0x5a)));
-        ++admitted;
-      }
-      next += interval;
-      if (next < steady_clock::now()) next = steady_clock::now();
-    }
-  } else {
-    std::this_thread::sleep_until(end);
-  }
-  // Throughput is measured over the traffic window only: the run-out
-  // below exists to let in-flight gossip land, and folding its idle tail
-  // into elapsed would understate datagrams/s (badly so for long gossip
-  // periods).
-  const double elapsed =
-      duration<double>(steady_clock::now() - start).count();
-  std::this_thread::sleep_for(
-      milliseconds(std::max<DurationMs>(2 * p.gossip.gossip_period, 100)));
-  for (auto& r : runtimes) r->stop();
-
   std::printf("scenario         : %s (%s)\n", preset.name.c_str(),
               preset.summary.c_str());
   std::printf("fabric           : inmemory wall-clock, %zu shards, "
               "max_burst %zu\n",
-              fabric.shard_count(), fp.max_burst);
+              r.shard_depths.size(), options.max_burst);
+  std::printf("algorithm        : %s%s%s%s\n",
+              p.adaptive ? "adaptive" : "lpbcast",
+              p.gossip.recovery.enabled ? " + recovery" : "",
+              p.partial_view ? " + partial views" : "",
+              p.locality.enabled ? " + locality bias" : "");
   std::printf("group            : %zu nodes, %zu senders, fanout %zu, "
               "T=%lld ms\n",
               p.n, sender_count, p.gossip.fanout,
               static_cast<long long>(p.gossip.gossip_period));
-  std::printf("offered load     : %llu broadcasts (%llu admitted) over "
-              "%.1f s\n",
-              static_cast<unsigned long long>(offered),
-              static_cast<unsigned long long>(admitted), elapsed);
+  std::printf("offered load     : %llu broadcasts (%llu admitted, %llu "
+              "refused) over %.1f s\n",
+              static_cast<unsigned long long>(r.offered),
+              static_cast<unsigned long long>(r.admitted),
+              static_cast<unsigned long long>(r.refused_broadcasts),
+              r.elapsed_s);
+  std::printf("reliability      : avg receivers %.2f%%   atomic (>95%%) "
+              "%.2f%%   (%llu messages evaluated)\n",
+              r.delivery.avg_receiver_pct, r.delivery.atomicity_pct,
+              static_cast<unsigned long long>(r.delivery.messages));
   std::printf("delivery throughput: %.0f datagrams/s over the %.1f s "
-              "traffic window (%llu delivered, %llu dropped)\n",
-              static_cast<double>(fabric.delivered()) / elapsed, elapsed,
-              static_cast<unsigned long long>(fabric.delivered()),
-              static_cast<unsigned long long>(fabric.dropped()));
-  std::printf("app deliveries   : %llu events\n",
-              static_cast<unsigned long long>(app_deliveries.load()));
-  std::printf("queue depth      : max %zu (per shard:",
-              fabric.max_queue_depth());
-  for (std::size_t s = 0; s < fabric.shard_count(); ++s) {
-    std::printf(" %zu", fabric.max_queue_depth(s));
+              "traffic window (%llu delivered, %llu dropped, %llu "
+              "down-suppressed)\n",
+              r.elapsed_s > 0.0
+                  ? static_cast<double>(r.fabric_delivered) / r.elapsed_s
+                  : 0.0,
+              r.elapsed_s,
+              static_cast<unsigned long long>(r.fabric_delivered),
+              static_cast<unsigned long long>(r.fabric_dropped),
+              static_cast<unsigned long long>(r.fabric_dropped_down));
+  std::printf("drops            : overflow %llu   age-limit %llu\n",
+              static_cast<unsigned long long>(r.overflow_drops),
+              static_cast<unsigned long long>(r.age_limit_drops));
+  if (p.network.clusters > 1) {
+    const std::uint64_t sent = r.sent_intra_cluster + r.sent_cross_cluster;
+    const double cross_pct =
+        sent == 0 ? 0.0
+                  : 100.0 * static_cast<double>(r.sent_cross_cluster) /
+                        static_cast<double>(sent);
+    std::printf("wan traffic      : %llu intra-cluster, %llu cross-cluster "
+                "datagrams (%.1f%% cross%s)\n",
+                static_cast<unsigned long long>(r.sent_intra_cluster),
+                static_cast<unsigned long long>(r.sent_cross_cluster),
+                cross_pct, p.locality.enabled ? ", locality-biased" : "");
   }
-  std::printf(")\n");
-  std::printf("send locks       : %llu acquisitions\n",
-              static_cast<unsigned long long>(
-                  fabric.send_lock_acquisitions()));
+  if (!p.failure_schedule.empty()) {
+    std::printf("failures         : %zu scheduled events replayed%s\n",
+                p.failure_schedule.size(),
+                p.failure_detector ? " (perfect detector)" : "");
+  }
+  std::printf("app deliveries   : %llu events\n",
+              static_cast<unsigned long long>(r.app_deliveries));
+  std::printf("queue depth      : per shard:");
+  for (std::size_t depth : r.shard_depths) std::printf(" %zu", depth);
+  std::printf("\n");
   return 0;
 }
 
