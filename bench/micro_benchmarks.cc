@@ -5,6 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <optional>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -19,8 +25,51 @@
 #include "membership/locality_view.h"
 #include "runtime/inmemory_fabric.h"
 #include "runtime/udp_transport.h"
+#include "sim/event_callback.h"
+#include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+
+// Process-wide heap-allocation counter backing the zero-alloc receipts in
+// the event-queue benchmarks below: benchmarks snapshot the counter around
+// their timed loop, so a steady-state path that touches the allocator at
+// all shows up as allocs_per_event > 0. noinline keeps GCC from inlining
+// the malloc/free bodies into call sites, where it would flag the
+// new-via-malloc / delete-via-free pairing as mismatched.
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+__attribute__((noinline)) void* operator new(std::size_t size,
+                                             std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size ? size : 1) ==
+      0) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::align_val_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p, std::size_t,
+                                               std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -449,6 +498,193 @@ void BM_LocalityTargets(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LocalityTargets)->Arg(60)->Arg(300);
+
+// The calendar-queue receipts. `seed_baseline` is a verbatim copy of the
+// event queue this repo shipped before the calendar rewrite — binary heap
+// of std::function entries, one shared_ptr<bool> tombstone per event — so
+// the pair below measures old vs new on the same workload in the same
+// binary. Keep it in sync with nothing: it is frozen history.
+namespace seed_baseline {
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+  void cancel() noexcept {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  EventHandle schedule(TimeMs at, std::function<void()> fn) {
+    auto alive = std::make_shared<bool>(true);
+    EventHandle handle{alive};
+    heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
+    return handle;
+  }
+
+  struct Fired {
+    TimeMs at;
+    std::function<void()> fn;
+  };
+
+  std::optional<Fired> pop() {
+    while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+    if (heap_.empty()) return std::nullopt;
+    Entry entry = heap_.top();
+    heap_.pop();
+    *entry.alive = false;
+    return Fired{entry.at, std::move(entry.fn)};
+  }
+
+ private:
+  struct Entry {
+    TimeMs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace seed_baseline
+
+// Schedule n events scattered over an 8192 ms span (half land past the
+// 4096-bucket ring, exercising the overflow heap and its migration),
+// cancel every 4th, drain the rest. Arg is n. The allocs_per_event counter
+// is the zero-allocation receipt: after the untimed warm-up pass the
+// calendar queue's slot pool and ring are at capacity, so the steady-state
+// schedule/cancel/pop cycle must not touch the allocator at all — the seed
+// baseline pays at least the shared_ptr control block per event.
+constexpr agb::TimeMs kQueueBenchSpan = 8192;
+
+void BM_EventQueueScheduleCancelDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  std::vector<sim::EventHandle> handles(n);
+  Rng rng(42);
+  std::uint64_t sink = 0;
+  TimeMs base = 0;
+  const auto pass = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      handles[i] = queue.schedule(
+          base + static_cast<TimeMs>(rng.next_below(kQueueBenchSpan)),
+          [&sink, i] { sink += i; });
+    }
+    for (std::size_t i = 0; i < n; i += 4) handles[i].cancel();
+    while (auto fired = queue.pop()) fired->fn();
+    base += kQueueBenchSpan;
+  };
+  // Untimed warm-up: grows the slot pool and the overflow heap's backing
+  // vector to their steady-state high-water marks.
+  for (int i = 0; i < 4; ++i) pass();
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) pass();
+  const auto events =
+      static_cast<double>(state.iterations()) * static_cast<double>(n);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      events;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleCancelDrain)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000);
+
+void BM_SeedEventQueueScheduleCancelDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  seed_baseline::EventQueue queue;
+  std::vector<seed_baseline::EventHandle> handles(n);
+  Rng rng(42);
+  std::uint64_t sink = 0;
+  TimeMs base = 0;
+  const auto pass = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      handles[i] = queue.schedule(
+          base + static_cast<TimeMs>(rng.next_below(kQueueBenchSpan)),
+          [&sink, i] { sink += i; });
+    }
+    for (std::size_t i = 0; i < n; i += 4) handles[i].cancel();
+    while (auto fired = queue.pop()) fired->fn();
+    base += kQueueBenchSpan;
+  };
+  pass();
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) pass();
+  const auto events =
+      static_cast<double>(state.iterations()) * static_cast<double>(n);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(g_heap_allocs.load(std::memory_order_relaxed) -
+                          allocs_before) /
+      events;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SeedEventQueueScheduleCancelDrain)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000);
+
+// Whole-scenario round cost at scale: two full gossip rounds (round wheel
+// sweep, target selection, codec, network delivery) over n nodes.
+// items/s is nodes simulated per virtual second of wall time — the number
+// the BENCH_sim_scale record tracks. Second arg selects membership:
+// 0 = full directory (the seed configuration — FullMembership::targets
+// draws from an O(n) directory, so per-round work is O(n^2) and the
+// n=10^5 point is omitted as intractable), 1 = bounded lpbcast partial
+// views (what the scale presets run). The >= 10x acceptance compares
+// {10000, 1} against {10000, 0}.
+void BM_ScenarioRoundTick(benchmark::State& state) {
+  constexpr TimeMs kPeriod = 1'000;
+  constexpr std::size_t kRounds = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ScenarioParams p;
+    p.n = static_cast<std::size_t>(state.range(0));
+    p.senders = 8;
+    p.offered_rate = 10.0;
+    p.partial_view = state.range(1) == 1;
+    p.gossip.gossip_period = kPeriod;
+    p.warmup = 0;
+    p.duration = kPeriod * kRounds;
+    p.cooldown = 0;
+    core::Scenario s(p);
+    state.ResumeTiming();
+    auto r = s.run();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) *
+                          static_cast<std::int64_t>(kRounds) * kPeriod /
+                          1'000);
+}
+BENCHMARK(BM_ScenarioRoundTick)
+    ->Args({1'000, 0})
+    ->Args({10'000, 0})
+    ->Args({1'000, 1})
+    ->Args({10'000, 1})
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatedSecond(benchmark::State& state) {
   // Cost of one virtual second of the full 60-node simulation, codec and

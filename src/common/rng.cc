@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -87,9 +88,30 @@ double Rng::normal(double mean, double stddev) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) k = n;
+  // Sparse regime (large population, small sample): Floyd's algorithm is
+  // O(k) in time and memory where the partial Fisher-Yates below is O(n) —
+  // at n=10^5 the per-node partial-view bootstrap would otherwise cost
+  // O(n^2) overall. The threshold keeps every small-population call (all
+  // existing presets and FullMembership::targets at paper scale) on the
+  // Fisher-Yates draw sequence, so historical seeds reproduce their exact
+  // traces.
+  if (n >= 2048 && k < n / 16) {
+    std::vector<std::size_t> sample;
+    sample.reserve(k);
+    for (std::size_t i = n - k; i < n; ++i) {
+      const auto j = static_cast<std::size_t>(next_below(i + 1));
+      // k is small: linear membership test beats a hash set.
+      if (std::find(sample.begin(), sample.end(), j) == sample.end()) {
+        sample.push_back(j);
+      } else {
+        sample.push_back(i);
+      }
+    }
+    return sample;
+  }
   std::vector<std::size_t> indices(n);
   for (std::size_t i = 0; i < n; ++i) indices[i] = i;
-  if (k > n) k = n;
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
     using std::swap;

@@ -1,0 +1,67 @@
+// Contiguous per-node state storage for large simulated groups.
+//
+// A scenario's group is homogeneous (all baseline or all adaptive nodes),
+// so node state can live in one flat allocation instead of n individually
+// heap-allocated objects behind unique_ptrs. At 10^5-10^6 nodes this cuts
+// allocator overhead and keeps the per-round sweep walking sequential
+// memory.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace agb::core {
+
+/// Type-erased owner: Scenario holds one of these plus a flat vector of raw
+/// pointers into it, keeping the node type out of the scenario interface.
+class NodeArenaBase {
+ public:
+  virtual ~NodeArenaBase() = default;
+};
+
+/// Fixed-capacity typed arena: one contiguous capacity*sizeof(T) block,
+/// objects placement-new'ed in build order and destroyed in reverse. Nodes
+/// are neither copyable nor movable, so contiguity is decided at build time.
+template <typename T>
+class NodeArena final : public NodeArenaBase {
+ public:
+  explicit NodeArena(std::size_t capacity)
+      : storage_(static_cast<std::byte*>(::operator new(
+            capacity * sizeof(T), std::align_val_t{alignof(T)}))),
+        capacity_(capacity) {}
+
+  ~NodeArena() override {
+    for (std::size_t i = size_; i-- > 0;) ptr(i)->~T();
+    ::operator delete(storage_, std::align_val_t{alignof(T)});
+  }
+
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  template <typename... Args>
+  T* emplace(Args&&... args) {
+    assert(size_ < capacity_);
+    T* obj =
+        ::new (static_cast<void*>(raw(size_))) T(std::forward<Args>(args)...);
+    ++size_;
+    return obj;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  [[nodiscard]] std::byte* raw(std::size_t i) noexcept {
+    return storage_ + i * sizeof(T);
+  }
+  [[nodiscard]] T* ptr(std::size_t i) noexcept {
+    return std::launder(reinterpret_cast<T*>(raw(i)));
+  }
+
+  std::byte* storage_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace agb::core

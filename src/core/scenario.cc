@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 
 #include "membership/full_membership.h"
 
@@ -51,7 +52,7 @@ std::shared_ptr<const membership::ClusterMap> scenario_cluster_map(
       params.network.clusters);
 }
 
-std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
+std::unique_ptr<membership::Membership> build_scenario_membership(
     const ScenarioParams& params, NodeId id, Rng& master_rng,
     const std::shared_ptr<const membership::ClusterMap>& cluster_map) {
   const auto i = static_cast<std::size_t>(id);
@@ -81,7 +82,13 @@ std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
         id, params.locality, cluster_map, std::move(view),
         master_rng.split());
   }
+  return view;
+}
 
+std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
+    const ScenarioParams& params, NodeId id, Rng& master_rng,
+    const std::shared_ptr<const membership::ClusterMap>& cluster_map) {
+  auto view = build_scenario_membership(params, id, master_rng, cluster_map);
   if (params.adaptive) {
     return std::make_unique<adaptive::AdaptiveLpbcastNode>(
         id, params.gossip, params.adaptation, std::move(view),
@@ -94,14 +101,38 @@ std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
 void Scenario::build_nodes() {
   nodes_.reserve(params_.n);
   const auto cluster_map = scenario_cluster_map(params_);
-  for (std::size_t i = 0; i < params_.n; ++i) {
-    const auto id = static_cast<NodeId>(i);
-    auto node = build_scenario_node(params_, id, master_rng_, cluster_map);
-    if (params_.adaptive) {
-      adaptive_nodes_.push_back(
-          static_cast<adaptive::AdaptiveLpbcastNode*>(node.get()));
+  // Arena-allocate the group: the membership bootstrap and the node seed
+  // are drawn from master_rng_ in exactly the order build_scenario_node
+  // uses, so arena and heap builds are trace-identical (the parity
+  // contract with WallclockScenario).
+  if (params_.adaptive) {
+    auto arena =
+        std::make_unique<NodeArena<adaptive::AdaptiveLpbcastNode>>(params_.n);
+    adaptive_nodes_.reserve(params_.n);
+    for (std::size_t i = 0; i < params_.n; ++i) {
+      const auto id = static_cast<NodeId>(i);
+      auto view =
+          build_scenario_membership(params_, id, master_rng_, cluster_map);
+      auto* node = arena->emplace(id, params_.gossip, params_.adaptation,
+                                  std::move(view), master_rng_.split());
+      adaptive_nodes_.push_back(node);
+      nodes_.push_back(node);
     }
+    node_storage_ = std::move(arena);
+  } else {
+    auto arena = std::make_unique<NodeArena<gossip::LpbcastNode>>(params_.n);
+    for (std::size_t i = 0; i < params_.n; ++i) {
+      const auto id = static_cast<NodeId>(i);
+      auto view =
+          build_scenario_membership(params_, id, master_rng_, cluster_map);
+      nodes_.push_back(arena->emplace(id, params_.gossip, std::move(view),
+                                      master_rng_.split()));
+    }
+    node_storage_ = std::move(arena);
+  }
 
+  for (gossip::LpbcastNode* node : nodes_) {
+    const NodeId id = node->id();
     node->set_deliver_handler([this, id](const gossip::Event& e, TimeMs now) {
       if (e.id.origin == id) return;  // origin accounted at broadcast time
       tracker_.on_delivery(e.id, id, now);
@@ -114,15 +145,13 @@ void Scenario::build_nodes() {
           }
         });
 
-    net_->attach(id, [this, raw = node.get()](const Datagram& d, TimeMs now) {
-      if (!raw->on_wire(gossip::decode_any(d.payload), now)) {
+    net_->attach(id, [this, node](const Datagram& d, TimeMs now) {
+      if (!node->on_wire(gossip::decode_any(d.payload), now)) {
         ++decode_failures_;
         return;
       }
-      drain_outbox(*raw);
+      drain_outbox(*node);
     });
-
-    nodes_.push_back(std::move(node));
   }
 }
 
@@ -150,17 +179,37 @@ void Scenario::apply_topology() {
 }
 
 void Scenario::start_round_timers() {
-  for (auto& node : nodes_) {
-    // Unsynchronised rounds: each node starts at a random phase, like
-    // independently started processes on the paper's 60 workstations.
+  // Unsynchronised rounds: each node starts at a random phase, like
+  // independently started processes on the paper's 60 workstations. The
+  // phase draw is one master-RNG call per node in id order — the same
+  // consumption the per-node-PeriodicTimer implementation made, which is
+  // what keeps old seeds producing identical traces. Nodes sharing a phase
+  // are then swept by one repeating wheel event in id order (the order
+  // their individual timers fired in), so the queue holds one live event
+  // per distinct phase instead of one per node.
+  std::unordered_map<TimeMs, std::size_t> bucket_index;
+  for (gossip::LpbcastNode* node : nodes_) {
     const auto phase = static_cast<TimeMs>(
         master_rng_.next_below(static_cast<std::uint64_t>(
             params_.gossip.gossip_period)));
-    timers_.push_back(std::make_unique<sim::PeriodicTimer>(
-        sim_, phase, params_.gossip.gossip_period,
-        [this, raw = node.get()](TimeMs now) {
-          emit(*raw, raw->on_round(now));
-        }));
+    const auto [it, inserted] =
+        bucket_index.try_emplace(phase, round_buckets_.size());
+    if (inserted) round_buckets_.push_back(RoundBucket{phase, {}});
+    round_buckets_[it->second].nodes.push_back(node);
+  }
+  for (std::size_t i = 0; i < round_buckets_.size(); ++i) {
+    sim_.at(round_buckets_[i].phase, [this, i] { tick_round_bucket(i); });
+  }
+}
+
+void Scenario::tick_round_bucket(std::size_t index) {
+  const TimeMs now = sim_.now();
+  // Re-arm before sweeping, mirroring PeriodicTimer::arm: the next round
+  // event is sequenced ahead of anything this sweep schedules.
+  sim_.at(now + params_.gossip.gossip_period,
+          [this, index] { tick_round_bucket(index); });
+  for (gossip::LpbcastNode* node : round_buckets_[index].nodes) {
+    emit(*node, node->on_round(now));
   }
 }
 
@@ -212,7 +261,7 @@ void Scenario::start_senders() {
   for (NodeId id : sender_ids) {
     auto sender = std::make_unique<SenderState>();
     sender->id = id;
-    sender->node = nodes_[id].get();
+    sender->node = nodes_[id];
     sender->adaptive = params_.adaptive ? adaptive_nodes_[id] : nullptr;
     sender->rate = per_sender;
     sender->rng = master_rng_.split();
@@ -315,6 +364,7 @@ ScenarioResults Scenario::run() {
   results.refused_broadcasts = refused_;
   results.decode_failures = decode_failures_;
   results.net = net_->stats();
+  results.peak_event_queue_len = sim_.peak_pending_events();
 
   for (const auto& node : nodes_) {
     results.overflow_drops += node->counters().drops_overflow;

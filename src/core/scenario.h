@@ -25,6 +25,7 @@
 #include "gossip/params.h"
 #include "membership/locality_view.h"
 #include "membership/partial_view.h"
+#include "core/node_arena.h"
 #include "metrics/delivery_tracker.h"
 #include "metrics/timeseries.h"
 #include "sim/network.h"
@@ -141,6 +142,11 @@ struct ScenarioResults {
 
   sim::NetworkStats net;
 
+  /// High-water mark of the simulator's event queue over the run — the
+  /// capacity receipt the scale presets track (the round wheel keeps this
+  /// O(n/period + in-flight deliveries), not O(n)).
+  std::size_t peak_event_queue_len = 0;
+
   metrics::TimeSeries allowed_rate_ts{"allowed_rate"};
   metrics::TimeSeries min_buff_ts{"min_buff"};
   metrics::TimeSeries atomicity_ts{"atomicity"};
@@ -159,13 +165,21 @@ struct ScenarioResults {
 [[nodiscard]] std::shared_ptr<const membership::ClusterMap>
 scenario_cluster_map(const ScenarioParams& params);
 
-/// Builds node `id`'s full protocol stack — membership bootstrap (full
-/// directory or seeded partial view), optional LocalityView decoration,
-/// baseline or adaptive node — drawing every seed from `master_rng` in a
-/// fixed order. Scenario (simulator) and WallclockScenario (real threads)
-/// both build their groups here, so the same ScenarioParams + seed yields
+/// Builds node `id`'s membership stack — full directory or seeded partial
+/// view, optionally decorated with a LocalityView — drawing every seed from
+/// `master_rng` in a fixed order. Scenario (simulator, arena-allocated
+/// nodes) and WallclockScenario (real threads, via build_scenario_node)
+/// both bootstrap views here, so the same ScenarioParams + seed yields
 /// provably identical nodes on either path: that is the contract the
 /// scenario-parity conformance suite pins.
+[[nodiscard]] std::unique_ptr<membership::Membership>
+build_scenario_membership(
+    const ScenarioParams& params, NodeId id, Rng& master_rng,
+    const std::shared_ptr<const membership::ClusterMap>& cluster_map);
+
+/// Builds node `id`'s full protocol stack (membership + baseline or
+/// adaptive node) on the heap; the wall-clock runtime owns nodes
+/// individually. Consumes `master_rng` exactly like Scenario's arena build.
 [[nodiscard]] std::unique_ptr<gossip::LpbcastNode> build_scenario_node(
     const ScenarioParams& params, NodeId id, Rng& master_rng,
     const std::shared_ptr<const membership::ClusterMap>& cluster_map);
@@ -181,9 +195,10 @@ class Scenario {
   /// Runs the full experiment and returns the report. Call once.
   ScenarioResults run();
 
-  /// Post-run introspection for tests: the protocol nodes and the network.
-  [[nodiscard]] const std::vector<std::unique_ptr<gossip::LpbcastNode>>&
-  nodes() const noexcept {
+  /// Post-run introspection for tests: the protocol nodes (arena-owned;
+  /// pointers are stable for the Scenario's lifetime) and the network.
+  [[nodiscard]] const std::vector<gossip::LpbcastNode*>& nodes()
+      const noexcept {
     return nodes_;
   }
   [[nodiscard]] const std::vector<adaptive::AdaptiveLpbcastNode*>&
@@ -200,6 +215,7 @@ class Scenario {
   void build_nodes();
   void apply_topology();
   void start_round_timers();
+  void tick_round_bucket(std::size_t index);
   void start_senders();
   void start_sampler();
   void apply_capacity_schedule();
@@ -210,12 +226,22 @@ class Scenario {
   void drain_sender(SenderState& sender);
   [[nodiscard]] bool in_eval_window(TimeMs t) const;
 
+  /// One wheel entry per distinct round phase: a single repeating event
+  /// sweeps every node sharing the phase (O(min(n, period)) live round
+  /// events instead of n PeriodicTimers).
+  struct RoundBucket {
+    TimeMs phase = 0;
+    std::vector<gossip::LpbcastNode*> nodes;
+  };
+
   ScenarioParams params_;
   Rng master_rng_;
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> net_;
-  std::vector<std::unique_ptr<gossip::LpbcastNode>> nodes_;
+  std::unique_ptr<NodeArenaBase> node_storage_;  // owns the nodes
+  std::vector<gossip::LpbcastNode*> nodes_;      // arena pointers, id order
   std::vector<adaptive::AdaptiveLpbcastNode*> adaptive_nodes_;  // or empty
+  std::vector<RoundBucket> round_buckets_;
   metrics::DeliveryTracker tracker_;
   std::vector<std::unique_ptr<sim::PeriodicTimer>> timers_;
   std::vector<std::unique_ptr<SenderState>> senders_;

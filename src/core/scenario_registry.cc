@@ -196,6 +196,38 @@ ScenarioParams build_semantic_streams(const Config& cfg) {
   return params_from_config(cfg, p);
 }
 
+/// Scale presets: the calendar-queue / round-wheel soak targets of the
+/// million-node roadmap item. Partial views keep per-node membership O(view)
+/// instead of O(n), the horizon is 30 sim-seconds (4 warmup + 20 eval +
+/// 6 cooldown), and the eventIds digest is bounded tighter than paper60's
+/// since at this group size a node only ever sees a thin slice of traffic.
+ScenarioParams scale_defaults(std::size_t n, const Config& cfg) {
+  auto p = paper60_defaults(cfg);
+  p.n = n;
+  p.senders = 32;
+  p.offered_rate = 10.0;
+  p.partial_view = true;
+  // Buffer sizing is per-node state multiplied by 10^5..10^6 nodes, so it
+  // is both the memory bill and the cache working set. At 10 events/s
+  // living max_age rounds, ~rate * max_age * period = 240 distinct events
+  // are in flight; the dedup digest only needs to cover that window.
+  p.gossip.max_events = 48;
+  p.gossip.max_event_ids = 384;
+  p.gossip.max_age = 12;  // ~log_fanout(n) dissemination rounds plus slack
+  p.warmup = 4'000;
+  p.duration = 20'000;
+  p.cooldown = 6'000;
+  return p;
+}
+
+ScenarioParams build_scale_1e5(const Config& cfg) {
+  return params_from_config(cfg, scale_defaults(100'000, cfg));
+}
+
+ScenarioParams build_scale_1e6(const Config& cfg) {
+  return params_from_config(cfg, scale_defaults(1'000'000, cfg));
+}
+
 }  // namespace
 
 std::vector<double> SweepSpec::values() const {
@@ -466,6 +498,10 @@ ScenarioRegistry::ScenarioRegistry() {
        build_wan_directional_churn});
   add({"semantic-streams", "supersede-heavy streams with semantic purging",
        build_semantic_streams});
+  add({"scale-1e5", "100k nodes on partial views (calendar-queue scale soak)",
+       build_scale_1e5});
+  add({"scale-1e6", "1M nodes on partial views (memory-bound scale soak)",
+       build_scale_1e6});
 }
 
 void ScenarioRegistry::add(ScenarioPreset preset) {

@@ -1,42 +1,222 @@
 #include "sim/event_queue.h"
 
-#include <optional>
+#include <algorithm>
+#include <bit>
+#include <cassert>
 
 namespace agb::sim {
 
-EventHandle EventQueue::schedule(TimeMs at, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle{alive};
-  heap_.push(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
-  return handle;
+EventQueue::EventQueue()
+    : head_(kRingSize, kNil),
+      tail_(kRingSize, kNil),
+      tag_(std::make_shared<detail::QueueTag>()) {
+  tag_->queue = this;
 }
 
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && !*heap_.top().alive) {
-    heap_.pop();
+EventQueue::~EventQueue() { tag_->queue = nullptr; }
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pool_[slot].next;
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Entry& e = pool_[slot];
+  e.fn.reset();
+  ++e.gen;  // outstanding handles to this slot become inert
+  e.cancelled = false;
+  e.next = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::mark_bucket(std::size_t b) noexcept {
+  occupied_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  summary_ |= std::uint64_t{1} << (b >> 6);
+}
+
+void EventQueue::clear_bucket_if_empty(std::size_t b) noexcept {
+  if (head_[b] != kNil) return;
+  tail_[b] = kNil;
+  occupied_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  if (occupied_[b >> 6] == 0) summary_ &= ~(std::uint64_t{1} << (b >> 6));
+}
+
+void EventQueue::push_ring(std::uint32_t slot) {
+  Entry& e = pool_[slot];
+  // A pre-cursor timestamp (causality violation tolerated by contract) maps
+  // to the cursor bucket: it fires promptly, FIFO behind entries already
+  // scheduled there, reporting its own timestamp.
+  const TimeMs eff = e.at < cursor_ ? cursor_ : e.at;
+  const std::size_t b = static_cast<std::size_t>(eff) & kRingMask;
+  e.next = kNil;
+  if (tail_[b] == kNil) {
+    head_[b] = tail_[b] = slot;
+  } else {
+    pool_[tail_[b]].next = slot;
+    tail_[b] = slot;
+  }
+  mark_bucket(b);
+}
+
+void EventQueue::migrate_overflow() {
+  const OverflowLater later{&pool_};
+  while (!overflow_.empty()) {
+    const std::uint32_t top = overflow_.front();
+    Entry& e = pool_[top];
+    if (!e.cancelled &&
+        e.at >= cursor_ + static_cast<TimeMs>(kRingSize)) {
+      break;
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), later);
+    overflow_.pop_back();
+    if (e.cancelled) {
+      release_slot(top);
+    } else {
+      push_ring(top);
+    }
+  }
+}
+
+EventHandle EventQueue::schedule(TimeMs at, EventCallback fn) {
+  const std::uint32_t slot = acquire_slot();
+  Entry& e = pool_[slot];
+  e.at = at;
+  e.seq = next_seq_++;
+  e.cancelled = false;
+  e.fn = std::move(fn);
+  if (at < cursor_ + static_cast<TimeMs>(kRingSize)) {
+    push_ring(slot);
+  } else {
+    overflow_.push_back(slot);
+    std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{&pool_});
+  }
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  return EventHandle{tag_, slot, e.gen};
+}
+
+std::size_t EventQueue::find_occupied(std::size_t from) const noexcept {
+  if (summary_ == 0) return kRingSize;
+  std::size_t w = from >> 6;
+  // Word containing `from`, restricted to bits at or after it.
+  std::uint64_t bits = occupied_[w] & (~std::uint64_t{0} << (from & 63));
+  if (bits != 0) return (w << 6) + std::countr_zero(bits);
+  for (std::size_t i = 1; i <= kWords; ++i) {
+    w = (from >> 6) + i >= kWords ? ((from >> 6) + i) - kWords
+                                  : (from >> 6) + i;
+    bits = occupied_[w];
+    if (i == kWords) bits &= (std::uint64_t{1} << (from & 63)) - 1;
+    if (bits != 0) return (w << 6) + std::countr_zero(bits);
+  }
+  return kRingSize;
+}
+
+std::uint32_t EventQueue::pop_next_live() {
+  const OverflowLater later{&pool_};
+  for (;;) {
+    migrate_overflow();
+    if (summary_ != 0) {
+      std::size_t b = find_occupied(static_cast<std::size_t>(cursor_) &
+                                    kRingMask);
+      while (b != kRingSize) {
+        std::uint32_t slot = head_[b];
+        while (slot != kNil && pool_[slot].cancelled) {
+          head_[b] = pool_[slot].next;
+          release_slot(slot);
+          slot = head_[b];
+        }
+        if (slot == kNil) {
+          clear_bucket_if_empty(b);
+          b = summary_ != 0 ? find_occupied((b + 1) & kRingMask) : kRingSize;
+          continue;
+        }
+        head_[b] = pool_[slot].next;
+        clear_bucket_if_empty(b);
+        Entry& e = pool_[slot];
+        if (e.at > cursor_) {
+          // Advancing the cursor widens the ring horizon; migrate before
+          // returning so the caller's callback never schedules a ring entry
+          // that has an earlier-seq twin stranded in the overflow heap.
+          cursor_ = e.at;
+          migrate_overflow();
+        }
+        return slot;
+      }
+      continue;  // ring held only cancelled entries; re-examine overflow
+    }
+    while (!overflow_.empty() && pool_[overflow_.front()].cancelled) {
+      const std::uint32_t top = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), later);
+      overflow_.pop_back();
+      release_slot(top);
+    }
+    if (overflow_.empty()) return kNil;
+    // Ring is empty: jump the cursor to the earliest far-future event and
+    // let migration pull it (and its cohort) into the ring.
+    cursor_ = pool_[overflow_.front()].at;
   }
 }
 
 std::optional<EventQueue::Fired> EventQueue::pop() {
-  drop_dead();
-  if (heap_.empty()) return std::nullopt;
-  // priority_queue::top() is const, so take a copy (the callable is a
-  // shared-state std::function; the copy is cheap relative to event cost).
-  Entry entry = heap_.top();
-  heap_.pop();
-  *entry.alive = false;  // fired events cannot be cancelled retroactively
-  return Fired{entry.at, std::move(entry.fn)};
+  if (live_ == 0) return std::nullopt;
+  const std::uint32_t slot = pop_next_live();
+  assert(slot != kNil);
+  Entry& e = pool_[slot];
+  Fired fired{e.at, std::move(e.fn)};
+  release_slot(slot);  // fired events cannot be cancelled retroactively
+  --live_;
+  return fired;
 }
 
 std::optional<TimeMs> EventQueue::peek_time() {
-  drop_dead();
-  if (heap_.empty()) return std::nullopt;
-  return heap_.top().at;
+  if (live_ == 0) return std::nullopt;
+  migrate_overflow();
+  // Non-destructive scan (cancelled entries encountered on the way are
+  // collected, live ones stay put; the cursor does not move).
+  std::size_t b = summary_ != 0
+                      ? find_occupied(static_cast<std::size_t>(cursor_) &
+                                      kRingMask)
+                      : kRingSize;
+  while (b != kRingSize) {
+    std::uint32_t slot = head_[b];
+    while (slot != kNil && pool_[slot].cancelled) {
+      head_[b] = pool_[slot].next;
+      release_slot(slot);
+      slot = head_[b];
+    }
+    if (slot != kNil) return pool_[slot].at;
+    clear_bucket_if_empty(b);
+    b = summary_ != 0 ? find_occupied((b + 1) & kRingMask) : kRingSize;
+  }
+  const OverflowLater later{&pool_};
+  while (!overflow_.empty() && pool_[overflow_.front()].cancelled) {
+    const std::uint32_t top = overflow_.front();
+    std::pop_heap(overflow_.begin(), overflow_.end(), later);
+    overflow_.pop_back();
+    release_slot(top);
+  }
+  if (overflow_.empty()) return std::nullopt;
+  return pool_[overflow_.front()].at;
 }
 
-bool EventQueue::empty() {
-  drop_dead();
-  return heap_.empty();
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t gen) noexcept {
+  if (slot >= pool_.size()) return;
+  Entry& e = pool_[slot];
+  if (e.gen != gen || e.cancelled) return;
+  e.cancelled = true;
+  e.fn.reset();  // release captured resources eagerly
+  --live_;
+}
+
+bool EventQueue::slot_pending(std::uint32_t slot,
+                              std::uint32_t gen) const noexcept {
+  return slot < pool_.size() && pool_[slot].gen == gen &&
+         !pool_[slot].cancelled;
 }
 
 }  // namespace agb::sim

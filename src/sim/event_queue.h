@@ -1,85 +1,172 @@
-// Priority queue of timestamped callbacks for the discrete-event simulator.
+// Calendar queue of timestamped callbacks for the discrete-event simulator.
 //
 // Events at equal timestamps fire in scheduling order (stable), which keeps
-// simulations deterministic. Cancellation is O(1) via a shared tombstone
-// flag; cancelled entries are skipped at pop time.
+// simulations deterministic — the contract is identical to the original
+// binary-heap implementation, but the cost model is built for 10^5-10^6
+// node runs:
+//
+//   - Near-future events (within kRingSize ms of the cursor) go into a
+//     power-of-two ring of 1 ms buckets; each bucket is an intrusive FIFO,
+//     so schedule and pop are O(1) plus a two-level-bitmap scan to the next
+//     occupied bucket. Far-future events wait in a small overflow min-heap
+//     and migrate into the ring as the cursor approaches them.
+//   - Entries live in a freelist-recycled pool: steady-state scheduling
+//     performs zero heap allocations, and callbacks with captures up to
+//     EventCallback::kInlineSize bytes are stored inline in the entry.
+//   - Cancellation is O(1) via a generation counter on the pooled entry
+//     (no shared_ptr<bool> tombstone per event).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/event_callback.h"
 
 namespace agb::sim {
 
+class EventQueue;
+
+namespace detail {
+/// Per-queue control block handles lock to check the queue is still alive.
+/// One allocation per queue, not per event.
+struct QueueTag {
+  EventQueue* queue = nullptr;
+};
+}  // namespace detail
+
 /// Handle returned by EventQueue::schedule; cancel() is idempotent and safe
-/// after the event has fired (it becomes a no-op).
+/// after the event has fired (it becomes a no-op). Copyable; a generation
+/// counter makes handles to recycled entries inert.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevents the callback from running if it has not run yet.
-  void cancel() noexcept {
-    if (auto alive = alive_.lock()) *alive = false;
-  }
+  void cancel() noexcept;
 
-  [[nodiscard]] bool pending() const noexcept {
-    auto alive = alive_.lock();
-    return alive && *alive;
-  }
+  [[nodiscard]] bool pending() const noexcept;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
+  EventHandle(std::weak_ptr<detail::QueueTag> tag, std::uint32_t slot,
+              std::uint32_t gen)
+      : tag_(std::move(tag)), slot_(slot), gen_(gen) {}
+
+  std::weak_ptr<detail::QueueTag> tag_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Enqueues `fn` to run at absolute time `at` (must be >= the time of the
-  /// last popped event for causality; enforced by Simulator, not here).
-  EventHandle schedule(TimeMs at, std::function<void()> fn);
+  /// last popped event for causality; enforced by Simulator, not here — a
+  /// violating entry fires promptly, reporting its own timestamp).
+  EventHandle schedule(TimeMs at, EventCallback fn);
 
   /// A popped event, ready to invoke. The queue has already marked it as
   /// fired; the caller advances its clock to `at` *before* calling `fn` so
   /// that callbacks observe the correct current time.
   struct Fired {
     TimeMs at;
-    std::function<void()> fn;
+    EventCallback fn;
   };
 
   /// Pops the next live event without running it; std::nullopt when empty.
   std::optional<Fired> pop();
 
-  /// Timestamp of the next live event without running it.
+  /// Timestamp of the next live event without running it. Does not advance
+  /// the cursor: callers may still schedule earlier-but->=now events after
+  /// peeking (run_until relies on this).
   [[nodiscard]] std::optional<TimeMs> peek_time();
 
-  [[nodiscard]] bool empty();
-  /// Upper bound on pending events (cancelled entries are lazily collected).
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  /// Exact number of live (scheduled, not cancelled, not fired) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  /// High-water mark of size() over the queue's lifetime.
+  [[nodiscard]] std::size_t peak_size() const noexcept { return peak_live_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kRingBits = 12;       // 4096 ms horizon
+  static constexpr std::size_t kRingSize = std::size_t{1} << kRingBits;
+  static constexpr std::size_t kRingMask = kRingSize - 1;
+  static constexpr std::size_t kWords = kRingSize / 64;
+
   struct Entry {
-    TimeMs at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    TimeMs at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t next = kNil;  // bucket FIFO link / freelist link
+    std::uint32_t gen = 0;      // bumped on release; stale handles are inert
+    bool cancelled = false;
+    EventCallback fn;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  /// Orders overflow-heap slots so the earliest (at, seq) is on top.
+  struct OverflowLater {
+    const std::vector<Entry>* pool;
+    bool operator()(std::uint32_t a, std::uint32_t b) const noexcept {
+      const Entry& ea = (*pool)[a];
+      const Entry& eb = (*pool)[b];
+      if (ea.at != eb.at) return ea.at > eb.at;
+      return ea.seq > eb.seq;
     }
   };
 
-  void drop_dead();
+  friend class EventHandle;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot) noexcept;
+  void push_ring(std::uint32_t slot);
+  /// Moves overflow entries whose time entered the ring horizon into their
+  /// buckets. Must run whenever the cursor may have advanced, *before* any
+  /// direct ring insert at the same timestamp could land — that keeps
+  /// (at, seq) FIFO order global across both tiers.
+  void migrate_overflow();
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen) noexcept;
+  [[nodiscard]] bool slot_pending(std::uint32_t slot,
+                                  std::uint32_t gen) const noexcept;
+  /// Unlinks and returns the next live slot in time order, advancing the
+  /// cursor; kNil when the queue is empty. Cancelled entries encountered on
+  /// the way are released.
+  std::uint32_t pop_next_live();
+  /// First occupied bucket at or after `from` in circular cursor order, or
+  /// kRingSize when the ring is empty.
+  [[nodiscard]] std::size_t find_occupied(std::size_t from) const noexcept;
+  void mark_bucket(std::size_t b) noexcept;
+  void clear_bucket_if_empty(std::size_t b) noexcept;
+
+  std::vector<Entry> pool_;
+  std::uint32_t free_head_ = kNil;
+  std::vector<std::uint32_t> head_;  // per-bucket FIFO head / tail
+  std::vector<std::uint32_t> tail_;
+  std::uint64_t occupied_[kWords] = {};
+  std::uint64_t summary_ = 0;  // bit w set iff occupied_[w] != 0
+  std::vector<std::uint32_t> overflow_;  // heap of slots beyond the horizon
+  TimeMs cursor_ = 0;  // ring entries satisfy at ∈ [cursor_, cursor_+kRingSize)
   std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_live_ = 0;
+  std::shared_ptr<detail::QueueTag> tag_;
 };
+
+inline void EventHandle::cancel() noexcept {
+  if (auto tag = tag_.lock(); tag && tag->queue != nullptr) {
+    tag->queue->cancel_slot(slot_, gen_);
+  }
+}
+
+inline bool EventHandle::pending() const noexcept {
+  const auto tag = tag_.lock();
+  return tag && tag->queue != nullptr && tag->queue->slot_pending(slot_, gen_);
+}
 
 }  // namespace agb::sim

@@ -4,11 +4,11 @@
 
 namespace agb::sim {
 
-EventHandle Simulator::at(TimeMs at, std::function<void()> fn) {
+EventHandle Simulator::at(TimeMs at, EventCallback fn) {
   return queue_.schedule(std::max(at, now_), std::move(fn));
 }
 
-EventHandle Simulator::after(DurationMs delay, std::function<void()> fn) {
+EventHandle Simulator::after(DurationMs delay, EventCallback fn) {
   return at(now_ + std::max<DurationMs>(delay, 0), std::move(fn));
 }
 

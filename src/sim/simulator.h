@@ -22,10 +22,12 @@ class Simulator {
   [[nodiscard]] TimeMs now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute virtual time `at` (clamped to now()).
-  EventHandle at(TimeMs at, std::function<void()> fn);
+  /// Captures up to EventCallback::kInlineSize bytes are stored inline in
+  /// the queue entry — no heap allocation per event.
+  EventHandle at(TimeMs at, EventCallback fn);
 
   /// Schedules `fn` after `delay` ms (clamped to 0).
-  EventHandle after(DurationMs delay, std::function<void()> fn);
+  EventHandle after(DurationMs delay, EventCallback fn);
 
   /// Runs a single event; returns false when the queue is empty.
   bool step();
@@ -44,6 +46,12 @@ class Simulator {
   void stop() noexcept { stopped_ = true; }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// High-water mark of pending_events() over the run (capacity receipt for
+  /// the scale presets).
+  [[nodiscard]] std::size_t peak_pending_events() const {
+    return queue_.peak_size();
+  }
 
  private:
   EventQueue queue_;

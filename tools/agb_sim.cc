@@ -35,6 +35,11 @@
 //   capacity=at_ms:frac:cap[,...]     failures=at_ms:node:up|down[,...]
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
 //   csv=prefix   (writes <prefix>_series.csv)
+//   bench=path.json   (sim fabric only: writes a BENCH_sim_scale record —
+//                      preset, n, sim_seconds, wall_seconds,
+//                      nodes_simulated_per_second, bytes_per_node,
+//                      peak_event_queue_len — for the perf trajectory;
+//                      pair with scenario=scale-1e5 / scale-1e6)
 //
 // fabric=inmemory runs the preset on the wall-clock runtime instead of the
 // simulator: real NodeRuntime threads over the sharded InMemoryFabric
@@ -45,7 +50,10 @@
 // hard error (exit 2), never silently dropped. duration_s is then real
 // seconds — keep it small:
 //   agb_sim scenario=wan-directional fabric=inmemory n=30 period_ms=50 duration_s=5
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -235,11 +243,23 @@ int main(int argc, char** argv) {
 
   auto& registry = core::ScenarioRegistry::instance();
   if (cfg.get_bool("list", false)) {
-    std::printf("%-22s %s\n", "scenario", "summary");
+    std::printf("%-22s %9s %-8s %s\n", "scenario", "n", "view", "summary");
     for (const auto* preset : registry.presets()) {
-      std::printf("%-22s %s\n", preset->name.c_str(),
-                  preset->summary.c_str());
+      std::string n_str = "?";
+      std::string view = "?";
+      try {
+        const core::ScenarioParams defaults = preset->build(Config{});
+        n_str = std::to_string(defaults.n);
+        view = defaults.partial_view ? "partial" : "full";
+      } catch (const std::exception&) {
+        // A preset that needs config keys to resolve still lists.
+      }
+      std::printf("%-22s %9s %-8s %s\n", preset->name.c_str(), n_str.c_str(),
+                  view.c_str(), preset->summary.c_str());
     }
+    std::printf("\nview: full = every node holds the whole directory "
+                "(O(n^2) group memory); partial = bounded lpbcast views "
+                "(O(n*view), what the scale presets use)\n");
     return 0;
   }
 
@@ -272,6 +292,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string csv_prefix = cfg.get_string("csv", "");
+  const std::string bench_path = cfg.get_string("bench", "");
   const bool per_node = cfg.get_bool("per_node", false);
   const std::string fabric = cfg.get_string("fabric", "sim");
   const auto shards = static_cast<std::size_t>(cfg.get_int("shards", 4));
@@ -287,8 +308,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   core::Scenario scenario(p);
   auto r = scenario.run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   std::printf("scenario         : %s (%s)\n", preset->name.c_str(),
               preset->summary.c_str());
@@ -344,6 +370,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.net.sent_cross_cluster),
                 cross_pct,
                 p.locality.enabled ? ", locality-biased" : "");
+  }
+
+  if (!bench_path.empty()) {
+    struct rusage usage {};
+    getrusage(RUSAGE_SELF, &usage);
+    const double sim_seconds =
+        static_cast<double>(p.warmup + p.duration + p.cooldown) / 1000.0;
+    const double nodes_per_second =
+        wall_seconds > 0.0
+            ? static_cast<double>(p.n) * sim_seconds / wall_seconds
+            : 0.0;
+    // ru_maxrss is KiB on Linux; whole-process peak RSS is the honest
+    // number for "how much memory does a run this size need".
+    const double bytes_per_node =
+        static_cast<double>(usage.ru_maxrss) * 1024.0 /
+        static_cast<double>(p.n);
+    std::ofstream out(bench_path);
+    if (!out) {
+      std::fprintf(stderr, "agb_sim: cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+    char record[512];
+    std::snprintf(record, sizeof(record),
+                  "{\n"
+                  "  \"bench\": \"sim_scale\",\n"
+                  "  \"preset\": \"%s\",\n"
+                  "  \"n\": %zu,\n"
+                  "  \"sim_seconds\": %.3f,\n"
+                  "  \"wall_seconds\": %.3f,\n"
+                  "  \"nodes_simulated_per_second\": %.1f,\n"
+                  "  \"bytes_per_node\": %.1f,\n"
+                  "  \"peak_event_queue_len\": %zu\n"
+                  "}\n",
+                  preset->name.c_str(), p.n, sim_seconds, wall_seconds,
+                  nodes_per_second, bytes_per_node, r.peak_event_queue_len);
+    out << record;
+    std::printf("bench record     : %s (%.0f nodes_sim/s, sim %.1f s in "
+                "wall %.2f s, %.0f B/node, peak queue %zu)\n",
+                bench_path.c_str(), nodes_per_second, sim_seconds,
+                wall_seconds, bytes_per_node, r.peak_event_queue_len);
   }
 
   if (per_node) {
