@@ -57,7 +57,16 @@ std::unique_ptr<membership::Membership> build_scenario_membership(
     const std::shared_ptr<const membership::ClusterMap>& cluster_map) {
   const auto i = static_cast<std::size_t>(id);
   std::unique_ptr<membership::Membership> view;
-  if (params.partial_view) {
+  if (params.gossip_membership) {
+    auto gm = std::make_unique<membership::GossipMembership>(
+        id, params.membership_params, master_rng.split());
+    // Bootstrap knowledge of the whole group, like FullMembership — from
+    // here on, liveness is maintained by the gossiped records alone.
+    for (std::size_t j = 0; j < params.n; ++j) {
+      if (j != i) gm->add(static_cast<NodeId>(j));
+    }
+    view = std::move(gm);
+  } else if (params.partial_view) {
     auto pv = std::make_unique<membership::PartialView>(
         id, params.view_params, master_rng.split());
     // Bootstrap: seed each view with a random sample of the group, the
@@ -308,6 +317,22 @@ void Scenario::apply_failure_schedule() {
   for (const FailureEvent& event : params_.failure_schedule) {
     sim_.at(event.at, [this, event] {
       net_->set_node_up(event.node, event.up);
+      if (event.up && event.node < nodes_.size()) {
+        // The recovering process's own restart logic (not an oracle: it
+        // touches only the node itself): under gossip membership a rejoin
+        // bumps the revision — and rotates the advertised endpoint when
+        // the scenario models host migration — so the fresh incarnation's
+        // records beat every stale or down claim the group still holds.
+        if (auto* gm = nodes_[event.node]->gossip_membership()) {
+          if (params_.migrate_on_rejoin) {
+            membership::EndpointBinding binding = gm->self_record().binding;
+            ++binding.port;
+            gm->set_self_binding(binding);
+          } else {
+            gm->on_restart();
+          }
+        }
+      }
       if (!params_.failure_detector) return;
       // Perfect failure detection: the survivors' views learn the change
       // at once, so locality bridge election reacts within one round.

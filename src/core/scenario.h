@@ -23,6 +23,7 @@
 #include "common/types.h"
 #include "gossip/lpbcast_node.h"
 #include "gossip/params.h"
+#include "membership/gossip_membership.h"
 #include "membership/locality_view.h"
 #include "membership/partial_view.h"
 #include "core/node_arena.h"
@@ -72,6 +73,18 @@ struct ScenarioParams {
   /// Use lpbcast partial views instead of a full directory.
   bool partial_view = false;
   membership::PartialViewParams view_params;
+
+  /// In-protocol anti-entropy membership (membership::GossipMembership):
+  /// liveness records and endpoint bindings ride on the gossip messages
+  /// themselves, and suspicion timeouts replace the failure_detector
+  /// oracle. Takes precedence over partial_view.
+  bool gossip_membership = false;
+  membership::GossipMembershipParams membership_params;
+
+  /// Host migration: a recovering node re-announces a *rotated* endpoint
+  /// binding under a bumped revision, so the group re-resolves it at a new
+  /// address. Only meaningful with gossip_membership.
+  bool migrate_on_rejoin = false;
 
   /// Locality-aware target selection (directional gossip, paper §5): when
   /// locality.enabled, every node's membership is wrapped in a

@@ -185,6 +185,76 @@ ScenarioParams build_wan_directional_churn(const Config& cfg) {
   return p;
 }
 
+/// Suspicion timeouts track the (possibly overridden) gossip period unless
+/// set explicitly: a few silent rounds raise a suspect, a few more declare
+/// it down. Shared by the oracle-free presets below.
+void derive_suspicion_timeouts(const Config& cfg, ScenarioParams& p) {
+  if (!cfg.raw("suspect_after_ms")) {
+    p.membership_params.suspect_after = 4 * p.gossip.gossip_period;
+  }
+  if (!cfg.raw("down_after_ms")) {
+    p.membership_params.down_after = 8 * p.gossip.gossip_period;
+  }
+}
+
+ScenarioParams build_churn_blind(const Config& cfg) {
+  // The wan-directional topology and bridge churn of wan-directional-churn,
+  // but with NO perfect failure detector: liveness is gossiped
+  // (membership::GossipMembership), so bridge re-election runs on suspicion
+  // timeouts alone. This is the oracle-retirement acceptance scenario.
+  auto p = paper60_defaults(cfg);
+  p.network.clusters = 3;
+  p.network.wan_latency = sim::LatencyModel::uniform(20.0, 60.0);
+  p.gossip.max_age = 20;
+  p.locality.enabled = true;
+  p.locality.p_local = 0.9;
+  p.locality.bridges_per_cluster = 2;
+  p.gossip_membership = true;
+  p.failure_detector = false;
+  p = params_from_config(cfg, p);
+  derive_suspicion_timeouts(cfg, p);
+  if (!cfg.raw("failures")) {
+    const DurationMs every = cfg.get_int("churn_every_s", 30) * 1000;
+    const DurationMs down_for = cfg.get_int("churn_down_s", 20) * 1000;
+    const auto count =
+        static_cast<std::size_t>(cfg.get_int("churn_count", 3));
+    const std::size_t clusters = std::max<std::size_t>(p.network.clusters, 1);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto bridge = static_cast<NodeId>(i % clusters);
+      const TimeMs at = p.warmup + static_cast<TimeMs>(i) * every;
+      p.failure_schedule.push_back({at, bridge, /*up=*/false});
+      p.failure_schedule.push_back({at + down_for, bridge, /*up=*/true});
+    }
+  }
+  return p;
+}
+
+ScenarioParams build_host_migration(const Config& cfg) {
+  // Rolling churn where every recovering node comes back *somewhere else*:
+  // the rejoin bumps its revision and rotates its advertised endpoint
+  // binding, and the group re-resolves it purely from the gossiped
+  // records (runtime deployments feed these into a DynamicDirectory).
+  auto p = paper60_defaults(cfg);
+  p.gossip_membership = true;
+  p.failure_detector = false;
+  p.migrate_on_rejoin = true;
+  p = params_from_config(cfg, p);
+  derive_suspicion_timeouts(cfg, p);
+  if (!cfg.raw("failures")) {
+    const DurationMs every = cfg.get_int("churn_every_s", 20) * 1000;
+    const DurationMs down_for = cfg.get_int("churn_down_s", 15) * 1000;
+    const auto count =
+        static_cast<std::size_t>(cfg.get_int("churn_count", 8));
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto node = static_cast<NodeId>((3 + 7 * i) % p.n);
+      const TimeMs at = p.warmup + static_cast<TimeMs>(i) * every;
+      p.failure_schedule.push_back({at, node, /*up=*/false});
+      p.failure_schedule.push_back({at + down_for, node, /*up=*/true});
+    }
+  }
+  return p;
+}
+
 ScenarioParams build_semantic_streams(const Config& cfg) {
   auto p = paper60_defaults(cfg);
   // Supersede-heavy workload under buffer pressure: each sender's stream
@@ -437,6 +507,18 @@ ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
       "bridges_per_cluster",
       static_cast<std::int64_t>(p.locality.bridges_per_cluster)));
   p.failure_detector = cfg.get_bool("failure_detector", p.failure_detector);
+  p.gossip_membership =
+      cfg.get_bool("gossip_membership", p.gossip_membership);
+  p.membership_params.suspect_after = cfg.get_int(
+      "suspect_after_ms", p.membership_params.suspect_after);
+  p.membership_params.down_after =
+      cfg.get_int("down_after_ms", p.membership_params.down_after);
+  p.membership_params.digest_budget_bytes = static_cast<std::size_t>(
+      cfg.get_int("membership_budget",
+                  static_cast<std::int64_t>(
+                      p.membership_params.digest_budget_bytes)));
+  p.migrate_on_rejoin =
+      cfg.get_bool("migrate_on_rejoin", p.migrate_on_rejoin);
   if (auto spec = cfg.raw("latency")) {
     if (!parse_latency_spec(*spec, &p.network.latency)) {
       die_bad_spec("latency", *spec);
@@ -496,6 +578,12 @@ ScenarioRegistry::ScenarioRegistry() {
   add({"wan-directional-churn",
        "wan-directional with the elected bridges crashing in turn",
        build_wan_directional_churn});
+  add({"churn-blind",
+       "bridge churn detected by gossiped suspicion alone (no oracle)",
+       build_churn_blind});
+  add({"host-migration",
+       "churned nodes rejoin at new endpoints under bumped revisions",
+       build_host_migration});
   add({"semantic-streams", "supersede-heavy streams with semantic purging",
        build_semantic_streams});
   add({"scale-1e5", "100k nodes on partial views (calendar-queue scale soak)",

@@ -160,6 +160,13 @@ void WallclockScenario::Impl::apply(const ScheduledAction& action) {
   if (action.is_failure) {
     const FailureEvent& event = action.failure;
     fabric->set_node_up(event.node, event.up);
+    if (event.up && event.node < runtimes.size()) {
+      // Mirror of the simulator's rejoin semantics: a recovering node
+      // running gossip membership bumps its own revision (and rotates its
+      // advertised binding under host migration). No-op for oracle-driven
+      // membership stacks.
+      runtimes[event.node]->on_recover(params.migrate_on_rejoin);
+    }
     if (!params.failure_detector) return;
     // Perfect failure detection, as under the simulator: every survivor's
     // view learns the change at once, so locality bridge election reacts

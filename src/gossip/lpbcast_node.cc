@@ -22,6 +22,7 @@ LpbcastNode::LpbcastNode(NodeId self, GossipParams params,
     base = &locality->inner();
   }
   partial_view_ = dynamic_cast<membership::PartialView*>(base);
+  gossip_membership_ = dynamic_cast<membership::GossipMembership*>(base);
 }
 
 void LpbcastNode::set_max_events(std::size_t max_events, TimeMs now) {
@@ -98,6 +99,12 @@ LpbcastNode::Outgoing LpbcastNode::on_round(TimeMs now) {
   if (partial_view_ != nullptr) {
     out.message.membership = partial_view_->make_digest();
   }
+  if (gossip_membership_ != nullptr) {
+    // Advance suspicion *before* target selection so a peer crossing its
+    // timeout this round is excluded from this round's fanout already.
+    gossip_membership_->tick(now);
+    out.message.member_records = gossip_membership_->make_digest();
+  }
   out.message.events = events_.snapshot();
   fill_seen_digest(out.message);
   out.targets = membership_->targets(params_.fanout);
@@ -110,6 +117,10 @@ void LpbcastNode::on_gossip(const GossipMessage& message, TimeMs now) {
   process_header(message, now);
   if (partial_view_ != nullptr) {
     partial_view_->apply_digest(message.sender, message.membership);
+  }
+  if (gossip_membership_ != nullptr) {
+    gossip_membership_->on_heard_from(message.sender, now);
+    gossip_membership_->apply_digest(message.member_records, now);
   }
 
   for (const Event& incoming : message.events) {

@@ -28,6 +28,7 @@
 #include "gossip/event_buffer.h"
 #include "gossip/message.h"
 #include "gossip/params.h"
+#include "membership/gossip_membership.h"
 #include "membership/membership.h"
 #include "membership/partial_view.h"
 
@@ -144,6 +145,14 @@ class LpbcastNode {
     return *membership_;
   }
 
+  /// The anti-entropy membership layer, when the node runs one (possibly
+  /// under a LocalityView decorator); nullptr otherwise. Embedders use it
+  /// to wire binding listeners and restart bumps — calls must arrive
+  /// through the driver's serialisation, like every membership call.
+  [[nodiscard]] membership::GossipMembership* gossip_membership() noexcept {
+    return gossip_membership_;
+  }
+
  protected:
   /// Called at the start of every round, before aging/emission. The adaptive
   /// node advances its sample period and runs the rate controller here.
@@ -185,6 +194,7 @@ class LpbcastNode {
   GossipParams params_;
   std::unique_ptr<membership::Membership> membership_;
   membership::PartialView* partial_view_ = nullptr;  // non-owning downcast
+  membership::GossipMembership* gossip_membership_ = nullptr;  // ditto
   Rng rng_;
   EventBuffer events_;
   EventIdBuffer event_ids_;

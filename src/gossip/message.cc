@@ -109,6 +109,54 @@ bool read_event_ids(ByteReader& r, std::vector<EventId>* out) {
   return true;
 }
 
+void write_member_records(
+    ByteWriter& w, const std::vector<membership::MemberRecord>& records) {
+  // Tail-optional section: a message with no membership digest encodes
+  // byte-identically to the pre-membership wire format, so turning the
+  // feature off costs nothing and old traffic decodes as "no records".
+  if (records.empty()) return;
+  w.varint(records.size());
+  for (const membership::MemberRecord& record : records) {
+    w.u32(record.node);
+    w.varint(record.revision);
+    w.varint(record.heartbeat);
+    w.u8(static_cast<std::uint8_t>(record.state));
+    w.u32(record.binding.host);
+    w.u16(record.binding.port);
+  }
+}
+
+bool read_member_records(ByteReader& r,
+                         std::vector<membership::MemberRecord>* out) {
+  if (r.exhausted()) return true;  // tail section absent: no digest rode along
+  auto count = r.varint();
+  // Smallest record: 4 (node) + 1 + 1 (varints) + 1 (state) + 4 + 2.
+  if (!count || !plausible_count(*count, r.remaining(), 13)) return false;
+  out->reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto node = r.u32();
+    auto revision = r.varint();
+    auto heartbeat = r.varint();
+    auto state = r.u8();
+    auto host = r.u32();
+    auto port = r.u16();
+    if (!node || !revision || !heartbeat || !state || !host || !port) {
+      return false;
+    }
+    if (*state > static_cast<std::uint8_t>(membership::LivenessState::kDown)) {
+      return false;  // unknown liveness state
+    }
+    membership::MemberRecord record;
+    record.node = *node;
+    record.revision = *revision;
+    record.heartbeat = *heartbeat;
+    record.state = static_cast<membership::LivenessState>(*state);
+    record.binding = membership::EndpointBinding{*host, *port};
+    out->push_back(record);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> GossipMessage::encode() const {
@@ -131,6 +179,7 @@ std::vector<std::uint8_t> GossipMessage::encode() const {
 
   write_events(w, events);
   write_event_ids(w, seen_ids);
+  write_member_records(w, member_records);
   return std::move(w).take();
 }
 
@@ -190,6 +239,7 @@ std::optional<GossipMessage> GossipMessage::decode(
 
   if (!read_events(r, &m.events)) return std::nullopt;
   if (!read_event_ids(r, &m.seen_ids)) return std::nullopt;
+  if (!read_member_records(r, &m.member_records)) return std::nullopt;
   if (!r.exhausted()) return std::nullopt;  // trailing garbage
   return m;
 }

@@ -16,12 +16,14 @@
 #include "common/shared_bytes.h"
 #include "common/types.h"
 #include "gossip/event.h"
+#include "membership/gossip_membership.h"
 #include "membership/partial_view.h"
 
 namespace agb::gossip {
 
 inline constexpr std::uint16_t kWireMagic = 0xa64b;
-inline constexpr std::uint8_t kWireVersion = 1;
+// v2 appended the anti-entropy member_records section to kGossip.
+inline constexpr std::uint8_t kWireVersion = 2;
 
 enum class MessageType : std::uint8_t {
   kGossip = 1,
@@ -58,6 +60,11 @@ struct GossipMessage {
   /// receivers can detect events they missed entirely and request repair.
   /// Empty unless GossipParams::recovery.enabled.
   std::vector<EventId> seen_ids;
+
+  /// Anti-entropy membership digest: per-node {revision, heartbeat, state}
+  /// records plus endpoint bindings, freshest-first within the sender's
+  /// byte budget. Empty unless the node runs membership::GossipMembership.
+  std::vector<membership::MemberRecord> member_records;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   /// encode() wrapped in a SharedBytes — the entry point for drivers that

@@ -1,0 +1,47 @@
+#include "runtime/dynamic_directory.h"
+
+#include <utility>
+
+namespace agb::runtime {
+
+DynamicDirectory::DynamicDirectory(
+    std::shared_ptr<const EndpointDirectory> fallback)
+    : fallback_(std::move(fallback)) {}
+
+void DynamicDirectory::update(NodeId node, UdpEndpoint endpoint) {
+  std::lock_guard lock(mutex_);
+  overrides_[node] = endpoint;
+}
+
+void DynamicDirectory::forget(NodeId node) {
+  std::lock_guard lock(mutex_);
+  overrides_.erase(node);
+}
+
+bool DynamicDirectory::resolve(NodeId node, UdpEndpoint* out) const {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = overrides_.find(node);
+    if (it != overrides_.end()) {
+      *out = it->second;
+      return true;
+    }
+  }
+  return fallback_ != nullptr && fallback_->resolve(node, out);
+}
+
+std::size_t DynamicDirectory::overrides() const {
+  std::lock_guard lock(mutex_);
+  return overrides_.size();
+}
+
+void wire_membership_bindings(membership::GossipMembership& source,
+                              std::shared_ptr<DynamicDirectory> directory) {
+  source.set_binding_listener(
+      [directory = std::move(directory)](NodeId node,
+                                         membership::EndpointBinding b) {
+        directory->update(node, UdpEndpoint{b.host, b.port});
+      });
+}
+
+}  // namespace agb::runtime

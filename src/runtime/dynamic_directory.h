@@ -1,0 +1,57 @@
+// Endpoint resolution that follows gossiped bindings at run time.
+//
+// UdpTransport resolves every send through an EndpointDirectory, so a
+// directory whose table can change *while the transport runs* is all it
+// takes for hosts to move mid-run: DynamicDirectory layers a mutable
+// override table over any static fallback (LoopbackDirectory, a
+// StaticDirectory loaded from config, ...), and update() swaps a node's
+// endpoint atomically with respect to concurrent resolve() calls on the
+// send paths. wire_membership_bindings() subscribes a directory to a
+// membership::GossipMembership, completing the loop: a peer that rebinds
+// announces its new endpoint under a bumped revision, the gossip merge
+// fires the binding listener, and the very next datagram to that peer
+// already goes to the new address — no restart, no config reload.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "membership/gossip_membership.h"
+#include "runtime/endpoint_directory.h"
+
+namespace agb::runtime {
+
+class DynamicDirectory final : public EndpointDirectory {
+ public:
+  /// `fallback` answers for nodes with no override yet; it may be null
+  /// (then only gossip-learned bindings resolve).
+  explicit DynamicDirectory(std::shared_ptr<const EndpointDirectory> fallback);
+
+  /// Installs (or replaces) `node`'s endpoint. Thread-safe against
+  /// resolve(); last writer wins, which is correct because the membership
+  /// merge already serialised bindings by revision freshness.
+  void update(NodeId node, UdpEndpoint endpoint);
+
+  /// Drops `node`'s override, falling back to the static table.
+  void forget(NodeId node);
+
+  [[nodiscard]] bool resolve(NodeId node, UdpEndpoint* out) const override;
+
+  /// How many nodes currently resolve through a gossip-learned override.
+  [[nodiscard]] std::size_t overrides() const;
+
+ private:
+  std::shared_ptr<const EndpointDirectory> fallback_;
+  mutable std::mutex mutex_;
+  std::unordered_map<NodeId, UdpEndpoint> overrides_;
+};
+
+/// Feeds every binding `source` learns from gossip into `directory`. The
+/// listener fires under the node's serialisation (sim loop or NodeRuntime
+/// lock) and only takes the directory's own mutex — safe against the
+/// transport's send paths. Call before the node starts gossiping.
+void wire_membership_bindings(membership::GossipMembership& source,
+                              std::shared_ptr<DynamicDirectory> directory);
+
+}  // namespace agb::runtime

@@ -35,12 +35,20 @@ bool StaticDirectory::add_spec(NodeId node, const std::string& spec) {
 }
 
 std::optional<StaticDirectory> StaticDirectory::from_file(
-    const std::string& path) {
+    const std::string& path, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return fail("cannot read '" + path + "'");
   StaticDirectory directory;
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    const std::string at =
+        "'" + path + "' line " + std::to_string(line_no) + ": ";
     const auto comment = line.find('#');
     if (comment != std::string::npos) line.erase(comment);
     std::istringstream fields(line);
@@ -51,21 +59,34 @@ std::optional<StaticDirectory> StaticDirectory::from_file(
     // Any non-blank line must parse completely — a skipped entry would
     // misroute gossip silently. The id must be a bare decimal NodeId
     // (stoul alone would wrap "-1" through unsigned conversion).
-    if (!(fields >> spec) || (fields >> trailing)) return std::nullopt;
+    if (!(fields >> spec) || (fields >> trailing)) {
+      return fail(at + "expected 'node_id host:port'");
+    }
     if (!std::isdigit(static_cast<unsigned char>(id_token.front()))) {
-      return std::nullopt;
+      return fail(at + "node id '" + id_token + "' is not a bare decimal");
     }
     unsigned long node = 0;
     try {
       std::size_t used = 0;
       node = std::stoul(id_token, &used);
-      if (used != id_token.size()) return std::nullopt;
+      if (used != id_token.size()) {
+        return fail(at + "node id '" + id_token + "' is not a bare decimal");
+      }
     } catch (const std::exception&) {
-      return std::nullopt;
+      return fail(at + "node id '" + id_token + "' is not a bare decimal");
     }
-    if (node > std::numeric_limits<NodeId>::max() ||
-        !directory.add_spec(static_cast<NodeId>(node), spec)) {
-      return std::nullopt;
+    if (node > std::numeric_limits<NodeId>::max()) {
+      return fail(at + "node id " + id_token + " exceeds the NodeId range");
+    }
+    // A repeated id would make one of the two endpoints win arbitrarily —
+    // reject it instead of silently letting the last line shadow the first.
+    if (directory.entries_.contains(static_cast<NodeId>(node))) {
+      return fail(at + "duplicate node id " + id_token +
+                  " (already mapped earlier in the file)");
+    }
+    if (!directory.add_spec(static_cast<NodeId>(node), spec)) {
+      return fail(at + "malformed endpoint '" + spec +
+                  "' (expected a.b.c.d:port)");
     }
   }
   return directory;

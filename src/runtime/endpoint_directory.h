@@ -63,9 +63,13 @@ class StaticDirectory final : public EndpointDirectory {
   bool add_spec(NodeId node, const std::string& spec);
 
   /// Loads "node_id a.b.c.d:port" lines ('#' comments and blank lines are
-  /// ignored). Returns nullopt if the file cannot be read or any line is
-  /// malformed — a half-loaded directory would misroute gossip silently.
-  static std::optional<StaticDirectory> from_file(const std::string& path);
+  /// ignored). Returns nullopt if the file cannot be read, any line is
+  /// malformed, or a node id appears twice — a half-loaded directory would
+  /// misroute gossip silently, and a duplicate id means one of the two
+  /// endpoints would win arbitrarily. When `error` is non-null it receives
+  /// a one-line description of what was rejected.
+  static std::optional<StaticDirectory> from_file(const std::string& path,
+                                                  std::string* error = nullptr);
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool resolve(NodeId node, UdpEndpoint* out) const override;

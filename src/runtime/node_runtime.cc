@@ -139,6 +139,30 @@ std::size_t NodeRuntime::membership_size() const {
   return node_->membership().size();
 }
 
+void NodeRuntime::on_recover(bool migrate_binding) {
+  std::lock_guard lock(mutex_);
+  auto* gm = node_->gossip_membership();
+  if (gm == nullptr) return;
+  if (migrate_binding) {
+    membership::EndpointBinding binding = gm->self_record().binding;
+    ++binding.port;  // moved host: same node, next port
+    gm->set_self_binding(binding);  // bumps the revision itself
+  } else {
+    gm->on_restart();
+  }
+}
+
+std::optional<membership::LivenessState> NodeRuntime::peer_state(
+    NodeId peer) const {
+  std::lock_guard lock(mutex_);
+  const auto* gm = node_->gossip_membership();
+  return gm == nullptr ? std::nullopt : gm->state_of(peer);
+}
+
+membership::GossipMembership* NodeRuntime::gossip_membership() {
+  return node_->gossip_membership();
+}
+
 void NodeRuntime::set_capacity(std::size_t max_events) {
   std::lock_guard lock(mutex_);
   if (adaptive_ != nullptr) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "adaptive/adaptive_node.h"
@@ -72,6 +73,23 @@ class NodeRuntime {
   void add_member(NodeId node);
   void remove_member(NodeId node);
   [[nodiscard]] std::size_t membership_size() const;
+
+  /// Restart hook for nodes running membership::GossipMembership: bumps
+  /// the node's own revision (rejoin semantics — its records beat every
+  /// stale claim the group still holds), and with `migrate_binding` also
+  /// rotates its advertised endpoint port, modelling a host move. No-op
+  /// for oracle-driven membership. Serialised by the node lock.
+  void on_recover(bool migrate_binding);
+
+  /// Liveness verdict the node's gossip membership currently holds for
+  /// `peer` (nullopt: unknown peer, or no gossip membership at all).
+  [[nodiscard]] std::optional<membership::LivenessState> peer_state(
+      NodeId peer) const;
+
+  /// The node's own gossip-membership layer, or nullptr. Only safe to
+  /// touch before start() (listener wiring) or after stop() (assertions):
+  /// in between, the round and dispatcher threads own it via the lock.
+  [[nodiscard]] membership::GossipMembership* gossip_membership();
 
  private:
   void round_loop();

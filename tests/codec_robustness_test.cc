@@ -33,6 +33,13 @@ GossipMessage rich_message() {
     m.events.push_back(std::move(e));
   }
   m.seen_ids = {{1, 2}, {3, 4}, {5, 6}};
+  membership::MemberRecord record;
+  record.node = 9;
+  record.revision = 2;
+  record.heartbeat = 70;
+  record.state = membership::LivenessState::kSuspect;
+  record.binding = membership::EndpointBinding{0x0a000001, 9100};
+  m.member_records.push_back(record);
   return m;
 }
 
@@ -56,8 +63,20 @@ RepairReply rich_reply() {
 TEST(CodecRobustnessTest, EveryTruncationOfAGossipMessageFailsCleanly) {
   const auto bytes = rich_message().encode();
   ASSERT_TRUE(GossipMessage::decode(bytes).has_value());
+  // The member_records section is tail-optional (pre-membership peers just
+  // stop before it), so the one cut exactly at its boundary decodes as the
+  // same message with an empty digest; every other cut must fail.
+  GossipMessage without_digest = rich_message();
+  without_digest.member_records.clear();
+  const std::size_t tail_boundary = without_digest.encode().size();
   for (std::size_t len = 0; len < bytes.size(); ++len) {
     std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    if (len == tail_boundary) {
+      auto decoded = GossipMessage::decode(prefix);
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_TRUE(decoded->member_records.empty());
+      continue;
+    }
     EXPECT_FALSE(GossipMessage::decode(prefix).has_value()) << "len " << len;
     EXPECT_TRUE(std::holds_alternative<std::monostate>(decode_any(prefix)))
         << "len " << len;

@@ -118,6 +118,31 @@ TEST(StaticDirectoryTest, RejectsNonNumericAndNegativeNodeIds) {
       StaticDirectory::from_file(missing_endpoint.path()).has_value());
 }
 
+TEST(StaticDirectoryTest, RejectsDuplicateNodeIdsWithAClearMessage) {
+  // Two lines claiming the same node id is a config bug, not a
+  // last-one-wins override: whichever line the operator meant, the other
+  // is wrong, so the whole load fails and the message names the culprit.
+  TempFile file(
+      "0 10.0.0.1:4000\n"
+      "1 10.0.0.2:4000\n"
+      "1 10.0.0.3:4000\n");
+  std::string error;
+  EXPECT_FALSE(StaticDirectory::from_file(file.path(), &error).has_value());
+  EXPECT_NE(error.find("duplicate node id 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(StaticDirectoryTest, ErrorOutParamNamesTheFailure) {
+  std::string error;
+  EXPECT_FALSE(StaticDirectory::from_file("/nonexistent/path", &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  TempFile bad("0 10.0.0.1:4000\n1 not-an-endpoint\n");
+  error.clear();
+  EXPECT_FALSE(StaticDirectory::from_file(bad.path(), &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 TEST(ClusterMapFromDirectoryTest, GroupsNodesByHostInAscendingHostOrder) {
   StaticDirectory directory;
   // Two hosts, interleaved node ids; ports don't matter for grouping.

@@ -1,0 +1,338 @@
+// membership::GossipMembership — merge convergence, suspicion timeouts,
+// rejoin/refutation semantics and the digest byte budget.
+//
+// The centrepiece is the permutation property: fresher_than is a total
+// order, so merging the same record sets in ANY order (and any grouping
+// into digests) must converge every replica to the same table. Bindings
+// are generated as a pure function of (node, revision) — exactly what the
+// protocol guarantees, since set_self_binding always bumps the revision —
+// so the convergence claim covers the endpoint plane too.
+#include "membership/gossip_membership.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace agb::membership {
+namespace {
+
+GossipMembershipParams quick_params() {
+  GossipMembershipParams p;
+  p.suspect_after = 100;
+  p.down_after = 300;
+  return p;
+}
+
+MemberRecord rec(NodeId node, std::uint64_t revision, std::uint64_t heartbeat,
+                 LivenessState state,
+                 EndpointBinding binding = EndpointBinding{}) {
+  MemberRecord r;
+  r.node = node;
+  r.revision = revision;
+  r.heartbeat = heartbeat;
+  r.state = state;
+  r.binding = binding;
+  return r;
+}
+
+// ------------------------------------------------------- freshness order --
+
+TEST(FresherThanTest, RevisionDominatesHeartbeatDominatesState) {
+  const auto up = LivenessState::kUp;
+  const auto down = LivenessState::kDown;
+  EXPECT_TRUE(fresher_than(rec(1, 2, 0, up), rec(1, 1, 99, down)));
+  EXPECT_TRUE(fresher_than(rec(1, 1, 5, up), rec(1, 1, 4, down)));
+  EXPECT_TRUE(fresher_than(rec(1, 1, 5, down), rec(1, 1, 5, up)));
+  EXPECT_FALSE(fresher_than(rec(1, 1, 5, up), rec(1, 1, 5, up)));
+}
+
+TEST(FresherThanTest, IsAStrictTotalOrderOnDistinctKeys) {
+  // Every pair of distinct (revision, heartbeat, state) keys is ordered
+  // exactly one way, and the order is transitive — exhaustively, over a
+  // small cube. Totality is what makes the merge commutative.
+  std::vector<MemberRecord> keys;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    for (std::uint64_t h = 0; h < 3; ++h) {
+      for (int s = 0; s < 3; ++s) {
+        keys.push_back(rec(1, r, h, static_cast<LivenessState>(s)));
+      }
+    }
+  }
+  for (const auto& a : keys) {
+    for (const auto& b : keys) {
+      if (a == b) {
+        EXPECT_FALSE(fresher_than(a, b));
+        continue;
+      }
+      EXPECT_NE(fresher_than(a, b), fresher_than(b, a));
+      for (const auto& c : keys) {
+        if (fresher_than(a, b) && fresher_than(b, c)) {
+          EXPECT_TRUE(fresher_than(a, c));
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ permutation convergence --
+
+TEST(GossipMembershipTest, MergeConvergesUnderAnyPermutationAndGrouping) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    // A pile of records about peers 1..8. Bindings are keyed by the
+    // announcing revision (port 0 until a node "binds"), matching the
+    // protocol invariant that a binding change is a revision bump.
+    std::vector<MemberRecord> records;
+    const std::size_t count = 20 + rng.next_below(30);
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId node = 1 + static_cast<NodeId>(rng.next_below(8));
+      const std::uint64_t revision = rng.next_below(4);
+      EndpointBinding binding;
+      if (node % 2 == 0 && revision > 0) {  // even nodes bind per revision
+        binding.host = node;
+        binding.port = static_cast<std::uint16_t>(1000 * node + revision);
+      }
+      records.push_back(rec(node, revision, rng.next_below(6),
+                            static_cast<LivenessState>(rng.next_below(3)),
+                            binding));
+    }
+
+    std::vector<MemberRecord> reference;
+    for (int replica = 0; replica < 6; ++replica) {
+      auto shuffled = records;
+      rng.shuffle(shuffled);
+      GossipMembership m(99, quick_params(), Rng(7));
+      // Feed the shuffled pile in random-sized digests — grouping must not
+      // matter either.
+      std::size_t at = 0;
+      while (at < shuffled.size()) {
+        const auto take = std::min<std::size_t>(
+            shuffled.size() - at, 1 + rng.next_below(5));
+        m.apply_digest({shuffled.begin() + at, shuffled.begin() + at + take},
+                       0);
+        at += take;
+      }
+      // Idempotence: replaying the whole pile changes nothing.
+      m.apply_digest(shuffled, 0);
+      if (replica == 0) {
+        reference = m.table();
+      } else {
+        EXPECT_EQ(m.table(), reference) << "trial " << trial;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ suspicion timeouts --
+
+TEST(GossipMembershipTest, SilentPeerIsSuspectedAtExactlySuspectAfter) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.add(1);
+  m.tick(0);   // baseline: silence is counted from the first tick
+  m.tick(99);  // suspect_after - 1: still up
+  EXPECT_EQ(m.state_of(1), LivenessState::kUp);
+  m.tick(100);  // the boundary tick
+  EXPECT_EQ(m.state_of(1), LivenessState::kSuspect);
+  EXPECT_TRUE(m.contains(1));    // suspects are still members
+  EXPECT_EQ(m.size(), 0u);       // ...but not gossip targets
+  EXPECT_TRUE(m.snapshot().empty());
+}
+
+TEST(GossipMembershipTest, FirstTickGrantsSeedPeersTheFullGracePeriod) {
+  // A node started (or restarted) against a wall clock far past zero must
+  // not count the time before its first tick as peer silence — otherwise a
+  // late joiner declares its whole seed list dead before hearing a single
+  // datagram and gossips to nobody.
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.add(1);
+  m.add(2);
+  m.tick(50'000);  // first tick, clock nowhere near zero
+  EXPECT_EQ(m.state_of(1), LivenessState::kUp);
+  EXPECT_EQ(m.state_of(2), LivenessState::kUp);
+  m.tick(50'000 + 99);
+  EXPECT_EQ(m.state_of(1), LivenessState::kUp);
+  m.tick(50'000 + 100);  // grace expires relative to the first tick
+  EXPECT_EQ(m.state_of(1), LivenessState::kSuspect);
+}
+
+TEST(GossipMembershipTest, SuspectIsDeclaredDownAtDownAfter) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.add(1);
+  m.tick(0);
+  m.tick(100);
+  ASSERT_EQ(m.state_of(1), LivenessState::kSuspect);
+  m.tick(299);  // down_after - 1: still suspect
+  EXPECT_EQ(m.state_of(1), LivenessState::kSuspect);
+  m.tick(300);
+  EXPECT_EQ(m.state_of(1), LivenessState::kDown);
+  EXPECT_FALSE(m.contains(1));
+  m.tick(10'000);  // tombstones persist
+  EXPECT_EQ(m.state_of(1), LivenessState::kDown);
+}
+
+TEST(GossipMembershipTest, HearingFromASuspectRevivesItButNotADownPeer) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.add(1);
+  m.add(2);
+  m.tick(0);
+  m.tick(100);
+  ASSERT_EQ(m.state_of(1), LivenessState::kSuspect);
+  m.on_heard_from(1, 150);
+  EXPECT_EQ(m.state_of(1), LivenessState::kUp);
+
+  m.tick(300);  // advance 2 through suspect...
+  m.tick(600);  // ...to down
+  ASSERT_EQ(m.state_of(2), LivenessState::kDown);
+  m.on_heard_from(2, 650);
+  EXPECT_EQ(m.state_of(2), LivenessState::kDown);  // needs a fresher record
+}
+
+TEST(GossipMembershipTest, RevisionBumpRevivesADownPeer) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.tick(0);
+  m.apply_digest({rec(1, 0, 5, LivenessState::kUp)}, 0);
+  m.tick(100);
+  m.tick(400);
+  ASSERT_EQ(m.state_of(1), LivenessState::kDown);
+  // Stale records from the dead incarnation do nothing...
+  m.apply_digest({rec(1, 0, 4, LivenessState::kUp)}, 500);
+  EXPECT_EQ(m.state_of(1), LivenessState::kDown);
+  // ...the restarted incarnation's bumped revision wins.
+  m.apply_digest({rec(1, 1, 0, LivenessState::kUp)}, 500);
+  EXPECT_EQ(m.state_of(1), LivenessState::kUp);
+}
+
+TEST(GossipMembershipTest, LocalRemoveVerdictPropagatesAgainstSameKey) {
+  // remove() marks down at the current freshness key; because ties break
+  // towards down, a replica still holding "up" at that key adopts it.
+  GossipMembership a(0, quick_params(), Rng(1));
+  GossipMembership b(2, quick_params(), Rng(3));
+  a.apply_digest({rec(1, 1, 7, LivenessState::kUp)}, 0);
+  b.apply_digest({rec(1, 1, 7, LivenessState::kUp)}, 0);
+  a.remove(1);
+  b.apply_digest(a.table(), 10);
+  EXPECT_EQ(b.state_of(1), LivenessState::kDown);
+}
+
+// --------------------------------------------------- rejoin / refutation --
+
+TEST(GossipMembershipTest, RefutesFresherClaimsAboutSelf) {
+  GossipMembership m(5, quick_params(), Rng(1));
+  const auto before = m.self_record();
+  // A ghost of a previous incarnation, fresher than this one.
+  m.apply_digest({rec(5, 3, 7, LivenessState::kDown)}, 0);
+  const auto after = m.self_record();
+  EXPECT_EQ(after.revision, 4u);
+  EXPECT_EQ(after.heartbeat, 8u);
+  EXPECT_EQ(after.state, LivenessState::kUp);
+  EXPECT_TRUE(fresher_than(after, rec(5, 3, 7, LivenessState::kDown)));
+  EXPECT_TRUE(fresher_than(after, before));
+  // Stale claims are ignored.
+  m.apply_digest({rec(5, 1, 0, LivenessState::kDown)}, 0);
+  EXPECT_EQ(m.self_record(), after);
+}
+
+TEST(GossipMembershipTest, RestartWipesLocalVerdictsButNotGroupTombstones) {
+  // A node isolated past down_after declares the whole group dead; its
+  // restart must reset those local verdicts or it would rejoin with empty
+  // targets and never speak again.
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.add(1);
+  m.add(2);
+  m.tick(0);
+  m.tick(400);
+  m.tick(800);
+  ASSERT_EQ(m.size(), 0u);  // everybody down from this node's perspective
+  m.on_restart();
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.state_of(1), LivenessState::kUp);
+  // But the reset stays at the old freshness keys: a genuinely-down peer's
+  // gossiped tombstone (same key, state further along) still wins.
+  auto table = m.table();
+  table[0].state = LivenessState::kDown;
+  GossipMembership other(9, quick_params(), Rng(2));
+  other.apply_digest({table[0]}, 0);
+  m.apply_digest(other.table(), 900);
+  EXPECT_EQ(m.state_of(1), LivenessState::kDown);
+}
+
+TEST(GossipMembershipTest, SetSelfBindingBumpsRevision) {
+  GossipMembership m(5, quick_params(), Rng(1));
+  const auto rev0 = m.self_record().revision;
+  m.set_self_binding({0x7f000001, 9000});
+  EXPECT_EQ(m.self_record().revision, rev0 + 1);
+  EXPECT_EQ(m.self_record().binding.port, 9000);
+  m.set_self_binding({0x7f000001, 9001});
+  EXPECT_EQ(m.self_record().revision, rev0 + 2);
+}
+
+TEST(GossipMembershipTest, UnboundRecordNeverErasesAKnownBinding) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.apply_digest({rec(1, 1, 0, LivenessState::kUp, {0x0a000001, 7000})}, 0);
+  ASSERT_EQ(m.binding_of(1).port, 7000);
+  // A fresher but unbound record (heartbeat progress relayed by a node
+  // that never learned the address) keeps the binding.
+  m.apply_digest({rec(1, 1, 5, LivenessState::kUp)}, 10);
+  EXPECT_EQ(m.binding_of(1).port, 7000);
+}
+
+TEST(GossipMembershipTest, BindingListenerFiresOnlyOnChange) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  std::vector<std::pair<NodeId, std::uint16_t>> calls;
+  m.set_binding_listener([&](NodeId node, EndpointBinding binding) {
+    calls.emplace_back(node, binding.port);
+  });
+  m.apply_digest({rec(1, 1, 0, LivenessState::kUp, {1, 7000})}, 0);
+  m.apply_digest({rec(1, 1, 1, LivenessState::kUp, {1, 7000})}, 0);  // same
+  m.apply_digest({rec(1, 2, 0, LivenessState::kUp, {1, 7001})}, 0);  // moved
+  m.apply_digest({rec(2, 1, 0, LivenessState::kUp)}, 0);  // unbound: silent
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_EQ(calls[0], (std::pair<NodeId, std::uint16_t>{1, 7000}));
+  EXPECT_EQ(calls[1], (std::pair<NodeId, std::uint16_t>{1, 7001}));
+}
+
+// -------------------------------------------------------------- digests --
+
+TEST(GossipMembershipTest, DigestLeadsWithSelfAndRespectsByteBudget) {
+  GossipMembershipParams p = quick_params();
+  // Records with small varints cost 13 bytes; room for self + 2 peers.
+  p.digest_budget_bytes = 40;
+  GossipMembership m(9, p, Rng(1));
+  for (NodeId id = 1; id <= 6; ++id) m.add(id);
+  auto digest = m.make_digest();
+  ASSERT_EQ(digest.size(), 3u);
+  EXPECT_EQ(digest[0].node, 9u);
+  std::size_t bytes = 0;
+  for (const auto& r : digest) bytes += encoded_record_size(r);
+  EXPECT_LE(bytes, p.digest_budget_bytes);
+}
+
+TEST(GossipMembershipTest, DigestPrefersRecentlyRefreshedPeers) {
+  GossipMembershipParams p = quick_params();
+  p.digest_budget_bytes = 26;  // self + exactly one small peer record
+  GossipMembership m(9, p, Rng(1));
+  for (NodeId id = 1; id <= 5; ++id) m.add(id);
+  m.on_heard_from(3, 50);  // freshest evidence is about node 3
+  auto digest = m.make_digest();
+  ASSERT_EQ(digest.size(), 2u);
+  EXPECT_EQ(digest[1].node, 3u);
+}
+
+TEST(GossipMembershipTest, EncodedRecordSizeTracksVarintGrowth) {
+  EXPECT_EQ(encoded_record_size(rec(1, 0, 0, LivenessState::kUp)), 13u);
+  EXPECT_EQ(encoded_record_size(rec(1, 300, 0, LivenessState::kUp)), 14u);
+  EXPECT_EQ(encoded_record_size(rec(1, 300, 1 << 20, LivenessState::kUp)),
+            16u);
+}
+
+TEST(GossipMembershipTest, TickAdvancesSelfHeartbeat) {
+  GossipMembership m(0, quick_params(), Rng(1));
+  const auto hb = m.self_record().heartbeat;
+  m.tick(10);
+  m.tick(20);
+  EXPECT_EQ(m.self_record().heartbeat, hb + 2);
+}
+
+}  // namespace
+}  // namespace agb::membership

@@ -1,0 +1,274 @@
+// The anti-entropy membership plane over the real UDP stack: suspicion
+// promotion with NO failure-detector oracle, rejoin under a bumped
+// revision, and gossip-driven endpoint re-resolution through a
+// runtime::DynamicDirectory — the end-to-end loop behind the churn-blind
+// and host-migration presets, exercised against kernel sockets on
+// loopback. Port range: 29'100–29'140.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gossip/lpbcast_node.h"
+#include "membership/gossip_membership.h"
+#include "runtime/dynamic_directory.h"
+#include "runtime/node_runtime.h"
+#include "runtime/udp_transport.h"
+
+namespace agb::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool eventually(const std::function<bool()>& predicate,
+                std::chrono::milliseconds deadline = 10'000ms) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - start < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return predicate();
+}
+
+/// A node whose only liveness source is the gossip stream itself: fast
+/// rounds, short suspicion timeouts, every peer pre-seeded.
+std::unique_ptr<gossip::LpbcastNode> make_gossip_membership_node(
+    NodeId self, std::size_t n, std::uint64_t initial_revision = 0,
+    membership::EndpointBinding binding = {}) {
+  membership::GossipMembershipParams mp;
+  mp.suspect_after = 200;
+  mp.down_after = 400;
+  mp.initial_revision = initial_revision;
+  auto members = std::make_unique<membership::GossipMembership>(
+      self, mp, Rng(self * 17 + 3));
+  for (NodeId id = 0; id < n; ++id) {
+    if (id != self) members->add(id);
+  }
+  if (binding.bound()) members->set_self_binding(binding);
+  gossip::GossipParams params;
+  params.fanout = 3;
+  params.gossip_period = 20;
+  params.max_events = 100;
+  params.max_event_ids = 1000;
+  params.max_age = 15;
+  return std::make_unique<gossip::LpbcastNode>(self, params,
+                                               std::move(members),
+                                               Rng(self + 100));
+}
+
+// ------------------------------------------------- DynamicDirectory unit --
+
+TEST(DynamicDirectoryTest, OverridesShadowTheFallbackUntilForgotten) {
+  auto fallback = std::make_shared<StaticDirectory>();
+  ASSERT_TRUE(fallback->add_spec(1, "10.0.0.1:4000"));
+  DynamicDirectory directory(fallback);
+
+  UdpEndpoint out;
+  ASSERT_TRUE(directory.resolve(1, &out));
+  EXPECT_EQ(out.port, 4000);  // no override yet: fallback answers
+
+  directory.update(1, UdpEndpoint{0x0a000002, 5000});
+  ASSERT_TRUE(directory.resolve(1, &out));
+  EXPECT_EQ(out, (UdpEndpoint{0x0a000002, 5000}));
+  EXPECT_EQ(directory.overrides(), 1u);
+
+  directory.forget(1);
+  ASSERT_TRUE(directory.resolve(1, &out));
+  EXPECT_EQ(out.port, 4000);
+  EXPECT_EQ(directory.overrides(), 0u);
+}
+
+TEST(DynamicDirectoryTest, NullFallbackResolvesOnlyLearnedBindings) {
+  DynamicDirectory directory(nullptr);
+  UdpEndpoint out;
+  EXPECT_FALSE(directory.resolve(3, &out));
+  directory.update(3, UdpEndpoint{0x7f000001, 6000});
+  ASSERT_TRUE(directory.resolve(3, &out));
+  EXPECT_EQ(out.port, 6000);
+}
+
+TEST(DynamicDirectoryTest, WiredMembershipFeedsLearnedBindings) {
+  membership::GossipMembershipParams mp;
+  auto gm = std::make_unique<membership::GossipMembership>(0, mp, Rng(1));
+  auto directory = std::make_shared<DynamicDirectory>(nullptr);
+  wire_membership_bindings(*gm, directory);
+
+  membership::MemberRecord record;
+  record.node = 5;
+  record.revision = 1;
+  record.binding = {0x7f000001, 7100};
+  gm->apply_digest({record}, 0);
+
+  UdpEndpoint out;
+  ASSERT_TRUE(directory->resolve(5, &out));
+  EXPECT_EQ(out, (UdpEndpoint{0x7f000001, 7100}));
+}
+
+// ------------------------------------------- churn without any detector --
+
+TEST(MembershipPlaneTest, ChurnBlindSuspicionAndRejoinOverUdp) {
+  constexpr std::size_t kNodes = 5;
+  constexpr NodeId kVictim = 4;
+  UdpTransport transport(29'100);
+  std::atomic<int> deliveries{0};
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    auto runtime = std::make_unique<NodeRuntime>(
+        make_gossip_membership_node(id, kNodes), transport,
+        [&transport] { return transport.now(); });
+    runtime->set_deliver_handler(
+        [&](const gossip::Event&, TimeMs) { deliveries.fetch_add(1); });
+    runtimes.push_back(std::move(runtime));
+  }
+  for (auto& r : runtimes) r->start();
+
+  // Healthy group: a broadcast reaches everyone.
+  runtimes[0]->broadcast(gossip::make_payload({1}));
+  ASSERT_TRUE(eventually(
+      [&] { return deliveries.load() == static_cast<int>(kNodes); }));
+
+  // Crash the victim — no oracle tells anyone. Survivors must walk it
+  // up → suspect → down purely from gossip silence.
+  runtimes[kVictim]->stop();
+  runtimes[kVictim].reset();
+  ASSERT_TRUE(eventually([&] {
+    for (NodeId id = 0; id < kNodes - 1; ++id) {
+      if (runtimes[id]->peer_state(kVictim) !=
+          membership::LivenessState::kDown) {
+        return false;
+      }
+    }
+    return true;
+  }));
+
+  // Rejoin as a new incarnation: a bumped initial revision beats every
+  // down tombstone the survivors hold.
+  auto reborn = std::make_unique<NodeRuntime>(
+      make_gossip_membership_node(kVictim, kNodes, /*initial_revision=*/1),
+      transport, [&transport] { return transport.now(); });
+  std::atomic<int> reborn_deliveries{0};
+  reborn->set_deliver_handler(
+      [&](const gossip::Event&, TimeMs) { reborn_deliveries.fetch_add(1); });
+  reborn->start();
+  ASSERT_TRUE(eventually([&] {
+    for (NodeId id = 0; id < kNodes - 1; ++id) {
+      if (runtimes[id]->peer_state(kVictim) !=
+          membership::LivenessState::kUp) {
+        return false;
+      }
+    }
+    return true;
+  }));
+
+  // The revived node is a first-class member again: it receives fresh
+  // traffic from the group.
+  deliveries.store(0);
+  runtimes[0]->broadcast(gossip::make_payload({2}));
+  EXPECT_TRUE(eventually([&] {
+    return deliveries.load() >= static_cast<int>(kNodes) - 1 &&
+           reborn_deliveries.load() >= 1;
+  }));
+
+  for (NodeId id = 0; id < kNodes - 1; ++id) runtimes[id]->stop();
+  reborn->stop();
+}
+
+// ------------------------------------- endpoint re-resolution via gossip --
+
+TEST(MembershipPlaneTest, HostMigrationReResolvesThroughGossipedBinding) {
+  // Nodes 0 and 1 resolve peers through a DynamicDirectory whose static
+  // fallback pins node 2 at its ORIGINAL port. Node 2 then moves to a new
+  // port; nobody edits the fallback. The only path back to connectivity
+  // is the gossip plane: node 2 re-announces its binding under a bumped
+  // revision, the merge fires the binding listener, the directory learns
+  // the override, and traffic flows to the new address.
+  constexpr std::uint32_t kLoopback = 0x7f000001;
+  constexpr std::uint16_t kPort0 = 29'120;
+  constexpr std::uint16_t kPort1 = 29'121;
+  constexpr std::uint16_t kOldPort2 = 29'122;
+  constexpr std::uint16_t kNewPort2 = 29'123;
+
+  auto fallback = std::make_shared<StaticDirectory>();
+  fallback->add(0, {kLoopback, kPort0});
+  fallback->add(1, {kLoopback, kPort1});
+  fallback->add(2, {kLoopback, kOldPort2});
+  auto group_directory = std::make_shared<DynamicDirectory>(fallback);
+  UdpTransport group_transport(group_directory);
+
+  std::vector<std::unique_ptr<NodeRuntime>> group;
+  std::atomic<int> group_deliveries{0};
+  for (NodeId id = 0; id < 2; ++id) {
+    auto runtime = std::make_unique<NodeRuntime>(
+        make_gossip_membership_node(id, 3), group_transport,
+        [&group_transport] { return group_transport.now(); });
+    runtime->set_deliver_handler(
+        [&](const gossip::Event&, TimeMs) { group_deliveries.fetch_add(1); });
+    // Listener wiring happens before start(): every binding these nodes
+    // learn from gossip lands in the shared directory.
+    wire_membership_bindings(*runtime->gossip_membership(), group_directory);
+    group.push_back(std::move(runtime));
+  }
+
+  // The mover runs on its own transport (its own directory), as a real
+  // remote host would: it can always reach 0 and 1, but they can only
+  // reach it where their directory points.
+  const auto make_mover_transport = [&](std::uint16_t port2) {
+    auto directory = std::make_shared<StaticDirectory>();
+    directory->add(0, {kLoopback, kPort0});
+    directory->add(1, {kLoopback, kPort1});
+    directory->add(2, {kLoopback, port2});
+    return std::make_unique<UdpTransport>(directory);
+  };
+  auto mover_transport = make_mover_transport(kOldPort2);
+  auto mover = std::make_unique<NodeRuntime>(
+      make_gossip_membership_node(2, 3, /*initial_revision=*/0,
+                                  {kLoopback, kOldPort2}),
+      *mover_transport, [&] { return mover_transport->now(); });
+  std::atomic<int> mover_deliveries{0};
+  mover->set_deliver_handler(
+      [&](const gossip::Event&, TimeMs) { mover_deliveries.fetch_add(1); });
+
+  for (auto& r : group) r->start();
+  mover->start();
+  group[0]->broadcast(gossip::make_payload({1}));
+  ASSERT_TRUE(eventually([&] {
+    return group_deliveries.load() == 2 && mover_deliveries.load() == 1;
+  }));
+
+  // Migrate: the node comes back on a NEW port. Its fresh incarnation
+  // announces {loopback, new port} under a bumped revision.
+  mover->stop();
+  mover.reset();
+  mover_transport = make_mover_transport(kNewPort2);
+  mover = std::make_unique<NodeRuntime>(
+      make_gossip_membership_node(2, 3, /*initial_revision=*/1,
+                                  {kLoopback, kNewPort2}),
+      *mover_transport, [&] { return mover_transport->now(); });
+  mover->set_deliver_handler(
+      [&](const gossip::Event&, TimeMs) { mover_deliveries.fetch_add(1); });
+  mover->start();
+
+  // The group's directory re-resolves node 2 from gossip alone.
+  ASSERT_TRUE(eventually([&] {
+    UdpEndpoint out;
+    return group_directory->resolve(2, &out) && out.port == kNewPort2;
+  }));
+
+  // And post-migration traffic reaches the new address end-to-end.
+  mover_deliveries.store(0);
+  group_deliveries.store(0);
+  group[1]->broadcast(gossip::make_payload({2}));
+  EXPECT_TRUE(eventually([&] {
+    return mover_deliveries.load() >= 1 && group_deliveries.load() >= 1;
+  }));
+
+  for (auto& r : group) r->stop();
+  mover->stop();
+}
+
+}  // namespace
+}  // namespace agb::runtime

@@ -25,6 +25,13 @@ GossipMessage sample_message() {
   e2.age = 0;
   e2.created_at = -5;  // negative times must survive the codec
   m.events = {e1, e2};
+  membership::MemberRecord r;
+  r.node = 7;
+  r.revision = 2;
+  r.heartbeat = 900;
+  r.state = membership::LivenessState::kSuspect;
+  r.binding = {0x0a000001, 9100};
+  m.member_records = {r};
   return m;
 }
 
@@ -47,6 +54,14 @@ TEST(MessageCodecTest, RoundTripPreservesAllFields) {
             (std::vector<std::uint8_t>{0xde, 0xad}));
   EXPECT_EQ(decoded->events[1].id, (EventId{9, 77}));
   EXPECT_EQ(decoded->events[1].created_at, -5);
+  ASSERT_EQ(decoded->member_records.size(), 1u);
+  EXPECT_EQ(decoded->member_records[0].node, 7u);
+  EXPECT_EQ(decoded->member_records[0].revision, 2u);
+  EXPECT_EQ(decoded->member_records[0].heartbeat, 900u);
+  EXPECT_EQ(decoded->member_records[0].state,
+            membership::LivenessState::kSuspect);
+  EXPECT_EQ(decoded->member_records[0].binding,
+            (membership::EndpointBinding{0x0a000001, 9100}));
 }
 
 TEST(MessageCodecTest, EmptyMessageRoundTrips) {
@@ -91,12 +106,25 @@ TEST(MessageCodecTest, WrongTypeRejected) {
 
 TEST(MessageCodecTest, EveryTruncationFailsCleanly) {
   // Chopping the message at any byte boundary must produce nullopt — never
-  // a crash, never a bogus partial decode.
+  // a crash, never a bogus partial decode. One boundary is special: the
+  // member_records section is tail-optional (a pre-membership peer's
+  // message simply ends before it), so cutting exactly there yields the
+  // same message with an empty digest — and nothing else.
+  GossipMessage without_digest = sample_message();
+  without_digest.member_records.clear();
+  const std::size_t tail_boundary = without_digest.encode().size();
   auto bytes = sample_message().encode();
+  ASSERT_LT(tail_boundary, bytes.size());
   for (std::size_t len = 0; len < bytes.size(); ++len) {
     std::span<const std::uint8_t> prefix(bytes.data(), len);
-    EXPECT_FALSE(GossipMessage::decode(prefix).has_value())
-        << "prefix length " << len;
+    auto decoded = GossipMessage::decode(prefix);
+    if (len == tail_boundary) {
+      ASSERT_TRUE(decoded.has_value());
+      EXPECT_TRUE(decoded->member_records.empty());
+      EXPECT_EQ(decoded->events.size(), sample_message().events.size());
+    } else {
+      EXPECT_FALSE(decoded.has_value()) << "prefix length " << len;
+    }
   }
 }
 
@@ -195,6 +223,19 @@ TEST(MessageCodecTest, RandomizedMessagesRoundTripExactly) {
       m.seen_ids.push_back(
           EventId{static_cast<NodeId>(rng.next_below(100)), rng.next()});
     }
+    const auto members = rng.next_below(8);
+    for (std::uint64_t i = 0; i < members; ++i) {
+      membership::MemberRecord r;
+      r.node = static_cast<NodeId>(rng.next_below(100));
+      r.revision = rng.next();  // full-width varints must survive
+      r.heartbeat = rng.next_below(1ull << 40);
+      r.state = static_cast<membership::LivenessState>(rng.next_below(3));
+      if (rng.bernoulli(0.5)) {
+        r.binding = {static_cast<std::uint32_t>(rng.next()),
+                     static_cast<std::uint16_t>(1 + rng.next_below(65535))};
+      }
+      m.member_records.push_back(r);
+    }
 
     auto decoded = GossipMessage::decode(m.encode());
     ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
@@ -247,6 +288,50 @@ TEST(MessageCodecTest, MinSetTruncationFailsCleanly) {
                      std::span<const std::uint8_t>(bytes.data(), len))
                      .has_value());
   }
+}
+
+TEST(MessageCodecTest, ForgedHugeMemberRecordCountRejected) {
+  // An empty message omits the tail member_records section entirely; splice
+  // an absurd count varint onto the tail and the plausibility check must
+  // reject it.
+  GossipMessage m;
+  m.sender = 1;
+  auto bytes = m.encode();
+  ByteWriter w;
+  w.varint(1ull << 40);
+  for (std::uint8_t b : std::move(w).take()) bytes.push_back(b);
+  EXPECT_FALSE(GossipMessage::decode(bytes).has_value());
+}
+
+TEST(MessageCodecTest, UnknownLivenessStateByteRejected) {
+  auto bytes = sample_message().encode();
+  // The single member record trails the message: state byte, then the u32
+  // host and u16 port.
+  ASSERT_GE(bytes.size(), 7u);
+  bytes[bytes.size() - 7] = 3;  // one past kDown
+  EXPECT_FALSE(GossipMessage::decode(bytes).has_value());
+}
+
+TEST(MessageCodecTest, MemberRecordWireCostMatchesEncodedRecordSize) {
+  // The digest budget in membership/ is enforced against
+  // encoded_record_size; the codec here is what actually puts records on
+  // the wire. Adding records must grow the message by exactly the sum the
+  // budget accounted for, plus the section's count varint (one byte for
+  // up to 127 records; the empty message omits the section entirely).
+  GossipMessage empty;
+  empty.sender = 1;
+  GossipMessage full = empty;
+  std::size_t expected = 0;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    membership::MemberRecord r;
+    r.node = static_cast<NodeId>(i);
+    r.revision = i * 1000;
+    r.heartbeat = i * 77;
+    r.state = static_cast<membership::LivenessState>(i % 3);
+    full.member_records.push_back(r);
+    expected += membership::encoded_record_size(r);
+  }
+  EXPECT_EQ(full.encode().size(), empty.encode().size() + 1 + expected);
 }
 
 TEST(MessageCodecTest, LargeEventBatchRoundTrips) {

@@ -31,6 +31,8 @@
 //   latency=fixed:ms | uniform:lo:hi | normal:mean:stddev   (fixed:1)
 //   wan_latency=<same grammar>  clusters(1)
 //   locality(0) p_local(0.85) bridges_per_cluster(1) failure_detector(0)
+//   gossip_membership(0) suspect_after_ms(4*period) down_after_ms(8*period)
+//   membership_budget(256) migrate_on_rejoin(0)
 //   loss=p (iid) | burst:pgood:pbad:pgb:pbg                 (0)
 //   capacity=at_ms:frac:cap[,...]     failures=at_ms:node:up|down[,...]
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
@@ -289,6 +291,28 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "agb_sim: %s\n", e.what());
     return 2;
+  }
+
+  // Knobs the resolved scenario cannot react to are a warning, not a
+  // silent no-op: a run whose flag did nothing reads like a run where the
+  // flag mattered.
+  if (cfg.raw("failure_detector") && p.failure_schedule.empty()) {
+    std::fprintf(stderr,
+                 "agb_sim: warning: failure_detector= has no effect: "
+                 "scenario '%s' schedules no failures (add failures=... or "
+                 "pick a churn preset)\n",
+                 name.c_str());
+  }
+  if (!p.gossip_membership) {
+    for (const char* key : {"suspect_after_ms", "down_after_ms",
+                            "membership_budget", "migrate_on_rejoin"}) {
+      if (cfg.raw(key)) {
+        std::fprintf(stderr,
+                     "agb_sim: warning: %s= has no effect without "
+                     "gossip_membership=1\n",
+                     key);
+      }
+    }
   }
 
   const std::string csv_prefix = cfg.get_string("csv", "");
