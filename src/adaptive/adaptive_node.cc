@@ -20,6 +20,16 @@ AdaptiveLpbcastNode::AdaptiveLpbcastNode(
         params_.robust_k, params_.robust_floor, params_.min_buff_window,
         self, static_cast<std::uint32_t>(gossip_params.max_events));
   }
+  if (params_.control.enabled) {
+    // The control plane anchors on the same L/H marks the RateAdapter
+    // throttles on, and starts its actuators at the configured values (the
+    // LocalityView's p_local, the base fanout) so an idle plane is a no-op.
+    auto* view = locality_view();
+    control_ = std::make_unique<ControlPlane>(
+        params_.control, params_.low_age_mark, params_.high_age_mark,
+        gossip_params.fanout,
+        view != nullptr ? view->p_local() : params_.control.p_local_max);
+  }
 }
 
 bool AdaptiveLpbcastNode::try_broadcast(gossip::Payload payload, TimeMs now,
@@ -72,6 +82,18 @@ void AdaptiveLpbcastNode::on_round_start(TimeMs now) {
   const double new_rate =
       adapter_.update(congestion_.avg_age(), avg_tokens_.value());
   bucket_.set_rate(new_rate, now);
+
+  // One control-plane step on the same signals: classify the regime, steer
+  // p_local and the effective fanout (no-op while control.enabled = false).
+  if (control_) {
+    auto* view = locality_view();
+    const ControlPlane::Actions actions = control_->tick(
+        ControlPlane::Signals{congestion_.avg_age(), remote_novel_round_,
+                              view != nullptr});
+    remote_novel_round_ = 0.0;
+    set_effective_fanout(actions.fanout);
+    if (view != nullptr) view->set_p_local(actions.p_local);
+  }
 }
 
 void AdaptiveLpbcastNode::augment_header(gossip::GossipMessage& message,
@@ -104,6 +126,19 @@ void AdaptiveLpbcastNode::before_shrink(TimeMs /*now*/) {
 
 void AdaptiveLpbcastNode::after_gc(TimeMs /*now*/) {
   congestion_.prune(events());
+}
+
+void AdaptiveLpbcastNode::on_event_ingested(const gossip::Event& event,
+                                            TimeMs /*now*/) {
+  if (!control_) return;
+  // Starvation signal: count novel events whose *origin* lives outside the
+  // home cluster (with no locality view there is no cluster to starve, but
+  // the count is still maintained so introspection stays meaningful).
+  auto* view = locality_view();
+  if (view == nullptr ||
+      view->clusters().cluster_of(event.id.origin) != view->home_cluster()) {
+    remote_novel_round_ += 1.0;
+  }
 }
 
 }  // namespace agb::adaptive

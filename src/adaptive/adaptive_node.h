@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "adaptive/congestion_estimator.h"
+#include "adaptive/control_plane.h"
 #include "adaptive/minbuff_estimator.h"
 #include "adaptive/params.h"
 #include "adaptive/rate_adapter.h"
@@ -21,6 +22,7 @@
 #include "common/moving_average.h"
 #include "flowcontrol/token_bucket.h"
 #include "gossip/lpbcast_node.h"
+#include "membership/locality_view.h"
 
 namespace agb::adaptive {
 
@@ -40,6 +42,13 @@ class AdaptiveLpbcastNode final : public gossip::LpbcastNode {
   bool try_broadcast_on_stream(gossip::Payload payload, TimeMs now,
                                std::uint32_t stream, bool supersedes,
                                EventId* out_id = nullptr);
+
+  /// True when try_broadcast would be admitted right now (a whole token is
+  /// available). Non-consuming: pending-queue drivers use it to avoid
+  /// moving a payload into a call that would refuse it.
+  [[nodiscard]] bool tokens_available(TimeMs now) noexcept {
+    return bucket_.level(now) >= 1.0;
+  }
 
   /// Dynamic resources: updates both the real bound and the running
   /// per-period minimum the node advertises.
@@ -67,6 +76,19 @@ class AdaptiveLpbcastNode final : public gossip::LpbcastNode {
     return params_;
   }
 
+  /// The feedback layer, when AdaptiveParams::control.enabled; nullptr
+  /// otherwise (and then nothing else in the node behaves differently).
+  [[nodiscard]] const ControlPlane* control_plane() const noexcept {
+    return control_.get();
+  }
+
+  /// The live p_local of the node's LocalityView, or -1 when the node runs
+  /// without locality (no cluster bias to steer).
+  [[nodiscard]] double p_local() noexcept {
+    auto* view = locality_view();
+    return view != nullptr ? view->p_local() : -1.0;
+  }
+
  protected:
   void on_round_start(TimeMs now) override;
   void augment_header(gossip::GossipMessage& message, TimeMs now) override;
@@ -74,6 +96,7 @@ class AdaptiveLpbcastNode final : public gossip::LpbcastNode {
                       TimeMs now) override;
   void before_shrink(TimeMs now) override;
   void after_gc(TimeMs now) override;
+  void on_event_ingested(const gossip::Event& event, TimeMs now) override;
 
  private:
   [[nodiscard]] PeriodId period_for(TimeMs now) const;
@@ -86,6 +109,10 @@ class AdaptiveLpbcastNode final : public gossip::LpbcastNode {
   flowcontrol::TokenBucket bucket_;
   Ewma avg_tokens_;
   std::size_t observations_at_last_round_ = 0;
+  std::unique_ptr<ControlPlane> control_;  // only when control.enabled
+  /// Novel remote-cluster-origin events seen since the last round started
+  /// (the control plane's starvation signal; reset every tick).
+  double remote_novel_round_ = 0.0;
 };
 
 }  // namespace agb::adaptive

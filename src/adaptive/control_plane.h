@@ -1,0 +1,196 @@
+// Self-tuning control plane: one per-node feedback layer driving the knobs
+// that the paper's rate adaptation (Fig. 5) leaves static.
+//
+// The paper adapts exactly one actuator — the sender's token refill rate —
+// from one signal, avgAge. The ControlPlane generalises that loop: it
+// consumes the congestion signals the adaptive node already maintains
+// (avgAge from the CongestionEstimator, the robust-min buffer estimate) plus
+// a locality signal (per-round novel events of remote-cluster origin) and
+// drives two more actuators each round:
+//
+//   signal                          regime        actuator
+//   ------------------------------  ------------  --------------------------
+//   avgAge < L  (drops die young)   kCongested    p_local steps UP toward
+//                                                 p_local_max (keep traffic
+//                                                 off the WAN links); fanout
+//                                                 scaled by
+//                                                 fanout_congested_scale
+//   avgAge > H  (spare capacity)    kSpare        fanout scaled by
+//                                                 fanout_spare_scale; if the
+//                                                 remote-novelty EWMA shows
+//                                                 the cluster starving,
+//                                                 p_local steps DOWN toward
+//                                                 p_local_min (open the WAN),
+//                                                 otherwise it relaxes toward
+//                                                 base like kNominal
+//   otherwise                       kNominal      base fanout; p_local
+//                                                 relaxes toward its
+//                                                 configured base value
+//
+// Hysteresis: the regime is a latched state, not a per-round threshold
+// test — entering kCongested requires avgAge < L but leaving it requires
+// avgAge > L + hysteresis (symmetrically for kSpare around H), so a signal
+// hovering at a mark cannot flap the actuators.
+//
+// Determinism: the ControlPlane is pure arithmetic on its inputs — it owns
+// no RNG, draws nothing, and its actuators change no message content, so a
+// node with the control plane disabled is byte-identical on the wire (and
+// in seeded traces) to a node built before this class existed.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "adaptive/params.h"
+#include "common/moving_average.h"
+
+namespace agb::adaptive {
+
+enum class Regime { kCongested, kNominal, kSpare };
+
+[[nodiscard]] constexpr const char* regime_name(Regime regime) noexcept {
+  switch (regime) {
+    case Regime::kCongested:
+      return "congested";
+    case Regime::kNominal:
+      return "nominal";
+    case Regime::kSpare:
+      return "spare";
+  }
+  return "?";
+}
+
+class ControlPlane {
+ public:
+  /// `low_mark`/`high_mark` are the L/H avgAge marks (normally
+  /// AdaptiveParams::low_age_mark/high_age_mark — the same marks the
+  /// RateAdapter throttles on, so the two control loops agree about what
+  /// congestion means). `base_fanout` and `base_p_local` are the configured
+  /// values the actuators start from and relax back to.
+  ControlPlane(ControlPlaneParams params, double low_mark, double high_mark,
+               std::size_t base_fanout, double base_p_local)
+      : params_(params),
+        low_mark_(low_mark),
+        high_mark_(high_mark),
+        base_fanout_(base_fanout == 0 ? 1 : base_fanout),
+        base_p_local_(std::clamp(base_p_local, params.p_local_min,
+                                 params.p_local_max)),
+        p_local_(base_p_local_),
+        fanout_(base_fanout_),
+        remote_novelty_(params.starve_alpha, /*initial=*/1.0) {}
+
+  /// Per-round inputs, read off the adaptive node's estimators.
+  struct Signals {
+    double avg_age = 0.0;       // CongestionEstimator::avg_age()
+    double remote_novel = 0.0;  // novel remote-origin events this round
+    bool has_locality = false;  // node runs under a LocalityView
+  };
+
+  /// One feedback step (called once per gossip round, before emission).
+  /// Returns the actuator outputs; callers apply them to the LocalityView
+  /// and the node's effective fanout.
+  struct Actions {
+    double p_local = 0.0;
+    std::size_t fanout = 0;
+  };
+  Actions tick(const Signals& signals) {
+    update_regime(signals.avg_age);
+    remote_novelty_.add(signals.remote_novel);
+
+    switch (regime_) {
+      case Regime::kCongested:
+        // WAN links congest: bias harder toward the local cluster.
+        p_local_ = std::min(params_.p_local_max,
+                            p_local_ + params_.p_local_step);
+        fanout_ = scaled_fanout(params_.fanout_congested_scale);
+        break;
+      case Regime::kSpare:
+        fanout_ = scaled_fanout(params_.fanout_spare_scale);
+        if (signals.has_locality && starving()) {
+          // Capacity to spare and no remote news arriving: the cluster is
+          // cut off — open the WAN back up (this may push below base).
+          p_local_ = std::max(params_.p_local_min,
+                              p_local_ - params_.p_local_step);
+        } else {
+          // Spare capacity is no reason to keep the WAN biased either:
+          // relax home like kNominal does, or a system that idles in
+          // kSpare (avgAge boosted to the age limit) would freeze p_local
+          // wherever the last congestion excursion left it.
+          relax_toward_base();
+        }
+        break;
+      case Regime::kNominal:
+        fanout_ = base_fanout_;
+        relax_toward_base();
+        break;
+    }
+    return Actions{p_local_, fanout_};
+  }
+
+  [[nodiscard]] Regime regime() const noexcept { return regime_; }
+  [[nodiscard]] double p_local() const noexcept { return p_local_; }
+  [[nodiscard]] std::size_t fanout() const noexcept { return fanout_; }
+  [[nodiscard]] double remote_novelty() const noexcept {
+    return remote_novelty_.value();
+  }
+  [[nodiscard]] bool starving() const noexcept {
+    return remote_novelty_.value() < params_.starve_threshold;
+  }
+  [[nodiscard]] const ControlPlaneParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  void update_regime(double avg_age) {
+    // Latched classification with a hysteresis band: thresholds to LEAVE a
+    // regime sit `hysteresis` beyond the thresholds to ENTER it.
+    switch (regime_) {
+      case Regime::kCongested:
+        if (avg_age > low_mark_ + params_.hysteresis) regime_ = Regime::kNominal;
+        break;
+      case Regime::kSpare:
+        if (avg_age < high_mark_ - params_.hysteresis) regime_ = Regime::kNominal;
+        break;
+      case Regime::kNominal:
+        break;
+    }
+    if (regime_ == Regime::kNominal) {
+      if (avg_age < low_mark_) {
+        regime_ = Regime::kCongested;
+      } else if (avg_age > high_mark_) {
+        regime_ = Regime::kSpare;
+      }
+    }
+  }
+
+  // Relax toward the configured base at half speed, so a recovered system
+  // drifts home without fighting the next excursion.
+  void relax_toward_base() {
+    if (p_local_ > base_p_local_) {
+      p_local_ =
+          std::max(base_p_local_, p_local_ - params_.p_local_step / 2.0);
+    } else if (p_local_ < base_p_local_) {
+      p_local_ =
+          std::min(base_p_local_, p_local_ + params_.p_local_step / 2.0);
+    }
+  }
+
+  [[nodiscard]] std::size_t scaled_fanout(double scale) const {
+    const double scaled =
+        std::llround(static_cast<double>(base_fanout_) * scale);
+    return scaled < 1.0 ? 1 : static_cast<std::size_t>(scaled);
+  }
+
+  ControlPlaneParams params_;
+  double low_mark_;
+  double high_mark_;
+  std::size_t base_fanout_;
+  double base_p_local_;
+  Regime regime_ = Regime::kNominal;
+  double p_local_;
+  std::size_t fanout_;
+  Ewma remote_novelty_;
+};
+
+}  // namespace agb::adaptive

@@ -8,6 +8,45 @@
 
 namespace agb::adaptive {
 
+/// Configuration of the self-tuning control plane (adaptive::ControlPlane):
+/// the feedback layer that generalises the paper's rate adaptation to the
+/// knobs outside the buffer/rate path. Regimes are classified on the same
+/// avgAge signal the RateAdapter uses (low avgAge = drops die young =
+/// congestion; high avgAge = spare capacity), against the L/H marks of
+/// AdaptiveParams, widened by a hysteresis band so the classification
+/// cannot oscillate when avgAge hovers at a mark.
+struct ControlPlaneParams {
+  /// Master switch. Off by default: a disabled control plane changes no
+  /// behaviour, no RNG draw and no wire byte — seeded traces of every
+  /// pre-existing preset are pinned on this.
+  bool enabled = false;
+  /// Hysteresis half-band (in avgAge hops) around the L/H marks: the
+  /// congested regime is entered at avgAge < L but only left at
+  /// avgAge > L + hysteresis; the spare regime enters at avgAge > H and
+  /// leaves at avgAge < H - hysteresis.
+  double hysteresis = 0.25;
+  /// p_local actuation bounds and per-round step. Congestion pushes
+  /// p_local up (keep traffic off the WAN links), a starving cluster pulls
+  /// it down (open the WAN up), the nominal regime relaxes it back toward
+  /// the configured base value.
+  double p_local_min = 0.50;
+  double p_local_max = 0.98;
+  double p_local_step = 0.02;
+  /// Per-regime fanout scaling applied to the configured base fanout:
+  /// congested rounds gossip to fewer peers (less redundant load on a
+  /// saturated group), spare rounds to more (faster dissemination while
+  /// capacity is free). Nominal uses the base fanout. Results are rounded
+  /// and clamped to >= 1.
+  double fanout_congested_scale = 0.75;
+  double fanout_spare_scale = 1.25;
+  /// Starvation detector: EWMA (weight `starve_alpha`) over the per-round
+  /// count of novel events originating OUTSIDE the node's home cluster.
+  /// When it sinks below `starve_threshold` while capacity is spare, the
+  /// cluster is cut off from remote traffic and p_local steps down.
+  double starve_alpha = 0.9;
+  double starve_threshold = 0.05;
+};
+
 struct AdaptiveParams {
   /// τ: length of a minBuff sample period. The paper recommends >= a_r * T
   /// when a single node may hold the minimum; we default to 2*T (their
@@ -61,6 +100,10 @@ struct AdaptiveParams {
   /// drops (system deep below capacity) can never learn that the rate may
   /// grow. Ablated in bench/ablation_adaptation.
   bool idle_age_boost = true;
+
+  /// The self-tuning control plane riding on the signals above (disabled
+  /// by default; see ControlPlaneParams).
+  ControlPlaneParams control;
 };
 
 }  // namespace agb::adaptive

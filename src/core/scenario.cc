@@ -229,6 +229,7 @@ void Scenario::sender_arrival(SenderState& sender) {
     ++refused_;
   } else {
     sender.pending.push_back(std::move(payload));
+    max_pending_depth_ = std::max(max_pending_depth_, sender.pending.size());
   }
   drain_sender(sender);
 
@@ -309,6 +310,29 @@ void Scenario::start_sampler() {
           }
           min_buff_ts_.add(
               now, min_buff_sum / static_cast<double>(adaptive_nodes_.size()));
+
+          // Control-plane actuator trajectories: group-mean p_local (over
+          // nodes that have a locality bias at all) and effective fanout.
+          // Pure reads — no RNG, no protocol state touched.
+          if (params_.adaptation.control.enabled) {
+            double p_local_sum = 0.0;
+            std::size_t locality_nodes = 0;
+            double fanout_sum = 0.0;
+            for (auto* node : adaptive_nodes_) {
+              const double p = node->p_local();
+              if (p >= 0.0) {
+                p_local_sum += p;
+                ++locality_nodes;
+              }
+              fanout_sum += static_cast<double>(node->effective_fanout());
+            }
+            if (locality_nodes > 0) {
+              p_local_ts_.add(
+                  now, p_local_sum / static_cast<double>(locality_nodes));
+            }
+            fanout_ts_.add(
+                now, fanout_sum / static_cast<double>(adaptive_nodes_.size()));
+          }
         }
       }));
 }
@@ -412,10 +436,31 @@ ScenarioResults Scenario::run() {
         min_buff_sum / static_cast<double>(adaptive_nodes_.size());
     results.avg_age_estimate =
         age_sum / static_cast<double>(adaptive_nodes_.size());
+
+    double p_local_sum = 0.0;
+    std::size_t locality_nodes = 0;
+    double fanout_sum = 0.0;
+    for (auto* node : adaptive_nodes_) {
+      const double p = node->p_local();
+      if (p >= 0.0) {
+        p_local_sum += p;
+        ++locality_nodes;
+      }
+      fanout_sum += static_cast<double>(node->effective_fanout());
+    }
+    if (locality_nodes > 0) {
+      results.avg_p_local =
+          p_local_sum / static_cast<double>(locality_nodes);
+    }
+    results.avg_effective_fanout =
+        fanout_sum / static_cast<double>(adaptive_nodes_.size());
   }
+  results.max_pending_depth = max_pending_depth_;
 
   results.allowed_rate_ts = allowed_rate_ts_;
   results.min_buff_ts = min_buff_ts_;
+  results.p_local_ts = p_local_ts_;
+  results.fanout_ts = fanout_ts_;
   for (auto [t, v] :
        tracker_.atomicity_series(eval_start, eval_end, params_.series_bucket)) {
     results.atomicity_ts.add(t, v);

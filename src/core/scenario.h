@@ -153,6 +153,14 @@ struct ScenarioResults {
   double avg_min_buff = 0.0;       // mean minBuff estimate at window end
   double avg_age_estimate = 0.0;   // mean avgAge at window end
 
+  // Control-plane actuator state (adaptation.control.enabled runs only).
+  double avg_p_local = 0.0;           // mean live p_local at window end
+  double avg_effective_fanout = 0.0;  // mean effective fanout at window end
+  /// Deepest any sender's pending queue got (blocking-BROADCAST
+  /// back-pressure); bounded by ScenarioParams::pending_cap by
+  /// construction — the bound the adaptive parity assertions pin.
+  std::size_t max_pending_depth = 0;
+
   sim::NetworkStats net;
 
   /// High-water mark of the simulator's event queue over the run — the
@@ -164,6 +172,11 @@ struct ScenarioResults {
   metrics::TimeSeries min_buff_ts{"min_buff"};
   metrics::TimeSeries atomicity_ts{"atomicity"};
   metrics::TimeSeries input_rate_ts{"input_rate"};
+  /// Control-plane actuator trajectories (empty for baseline runs): the
+  /// group-mean p_local of locality nodes and group-mean effective fanout
+  /// per series bucket. Seeded determinism tests compare these exactly.
+  metrics::TimeSeries p_local_ts{"p_local"};
+  metrics::TimeSeries fanout_ts{"fanout"};
 };
 
 /// The sender layout both harnesses share: `senders` ids spread evenly
@@ -261,8 +274,11 @@ class Scenario {
   RunningStats eval_drop_age_;
   std::uint64_t refused_ = 0;
   std::uint64_t decode_failures_ = 0;
+  std::size_t max_pending_depth_ = 0;
   metrics::TimeSeries allowed_rate_ts_{"allowed_rate"};
   metrics::TimeSeries min_buff_ts_{"min_buff"};
+  metrics::TimeSeries p_local_ts_{"p_local"};
+  metrics::TimeSeries fanout_ts_{"fanout"};
   bool ran_ = false;
 };
 

@@ -255,6 +255,61 @@ ScenarioParams build_host_migration(const Config& cfg) {
   return p;
 }
 
+ScenarioParams build_adaptive_wan(const Config& cfg) {
+  // wan-directional with the full adaptive stack and the control plane on:
+  // mid-run, half the group's buffers shrink hard, driving avgAge below
+  // the low mark (drops die young). The control plane answers by raising
+  // p_local — keep traffic on the LAN islands — and trimming fanout, then
+  // relaxes both toward their bases once the squeeze heals. The adaptive
+  // parity suite runs this preset through both harnesses and asserts the
+  // group-mean p_local lands in the same regime band.
+  auto p = paper60_defaults(cfg);
+  p.network.clusters = 3;
+  p.network.wan_latency = sim::LatencyModel::uniform(20.0, 60.0);
+  p.gossip.max_age = 20;
+  p.locality.enabled = true;
+  p.locality.p_local = 0.9;
+  p.locality.bridges_per_cluster = 2;
+  p.adaptive = true;
+  p.adaptation.control.enabled = true;
+  p = params_from_config(cfg, p);
+  if (!cfg.raw("capacity")) {
+    // Squeeze a quarter of the way into the window, heal at 5/8 — late
+    // enough that quick parity runs still see both phases. Times are
+    // absolute (the schedule is replayed against the run clock).
+    const TimeMs squeeze = p.warmup + p.duration / 4;
+    const TimeMs heal = p.warmup + (p.duration * 5) / 8;
+    const double fraction = cfg.get_double("fraction", 0.5);
+    const auto low = static_cast<std::size_t>(cfg.get_int("buf1", 30));
+    p.capacity_schedule = {
+        {squeeze, fraction, low},
+        {heal, fraction, p.gossip.max_events},
+    };
+  }
+  return p;
+}
+
+ScenarioParams build_adaptive_backpressure(const Config& cfg) {
+  // Deliberate overload on the LAN topology: the offered load outruns the
+  // adapter's allowed rate, so sender arrivals queue behind the token
+  // bucket (the paper's blocking BROADCAST) and drain as it refills. The
+  // receipt is a pending queue that is busy but bounded by pending_cap on
+  // both harnesses — the wall-clock path exercises NodeRuntime's
+  // token-refill back-pressure loop, the simulator its SenderState twin.
+  auto p = paper60_defaults(cfg);
+  p.adaptive = true;
+  p.adaptation.control.enabled = true;
+  p.offered_rate = 45.0;
+  p = params_from_config(cfg, p);
+  if (!cfg.raw("capacity")) {
+    const TimeMs squeeze = p.warmup + p.duration / 4;
+    const double fraction = cfg.get_double("fraction", 0.3);
+    const auto low = static_cast<std::size_t>(cfg.get_int("buf1", 45));
+    p.capacity_schedule = {{squeeze, fraction, low}};
+  }
+  return p;
+}
+
 ScenarioParams build_semantic_streams(const Config& cfg) {
   auto p = paper60_defaults(cfg);
   // Supersede-heavy workload under buffer pressure: each sender's stream
@@ -484,6 +539,20 @@ ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
       static_cast<std::uint32_t>(cfg.get_int("robust_floor", a.robust_floor));
   a.idle_age_boost = cfg.get_bool("idle_age_boost", a.idle_age_boost);
 
+  // Control-plane keys (the self-tuning feedback layer; only consulted
+  // when adaptive=true).
+  auto& c = a.control;
+  c.enabled = cfg.get_bool("control_plane", c.enabled);
+  c.hysteresis = cfg.get_double("control_hysteresis", c.hysteresis);
+  c.p_local_min = cfg.get_double("p_local_min", c.p_local_min);
+  c.p_local_max = cfg.get_double("p_local_max", c.p_local_max);
+  c.p_local_step = cfg.get_double("p_local_step", c.p_local_step);
+  c.fanout_congested_scale =
+      cfg.get_double("fanout_congested_scale", c.fanout_congested_scale);
+  c.fanout_spare_scale =
+      cfg.get_double("fanout_spare_scale", c.fanout_spare_scale);
+  c.starve_threshold = cfg.get_double("starve_threshold", c.starve_threshold);
+
   p.partial_view = cfg.get_bool("partial_view", p.partial_view);
   p.view_params.max_view = static_cast<std::size_t>(cfg.get_int(
       "view_max", static_cast<std::int64_t>(p.view_params.max_view)));
@@ -584,6 +653,14 @@ ScenarioRegistry::ScenarioRegistry() {
   add({"host-migration",
        "churned nodes rejoin at new endpoints under bumped revisions",
        build_host_migration});
+  add({"adaptive-wan",
+       "wan-directional + control plane: p_local rises under a buffer "
+       "squeeze, recovers after it heals",
+       build_adaptive_wan});
+  add({"adaptive-backpressure",
+       "overloaded adaptive LAN: blocking-BROADCAST queues bounded by "
+       "pending_cap on both harnesses",
+       build_adaptive_backpressure});
   add({"semantic-streams", "supersede-heavy streams with semantic purging",
        build_semantic_streams});
   add({"scale-1e5", "100k nodes on partial views (calendar-queue scale soak)",

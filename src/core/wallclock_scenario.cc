@@ -18,44 +18,23 @@ namespace {
 
 using std::chrono::milliseconds;
 
-/// Rounds a latency-model bound to the fabric's integer milliseconds.
-DurationMs to_delay_ms(double value) {
-  return static_cast<DurationMs>(std::llround(std::max(value, 0.0)));
-}
-
-/// Maps the preset's network model onto InMemoryFabric::Params. validate()
-/// ran first, so only representable models arrive here.
+/// Maps the preset's network model onto InMemoryFabric::Params. The fabric
+/// prices links with the same sim::DelaySampler the simulator's SimNetwork
+/// uses, so every latency model (fixed, uniform, normal), the WAN cluster
+/// rule and per-link overrides transfer verbatim — this is what retired
+/// the old validate() rejections.
 runtime::InMemoryFabric::Params fabric_params(const ScenarioParams& p,
                                               const WallclockOptions& o) {
   runtime::InMemoryFabric::Params fp;
   fp.shards = o.shards;
   fp.max_burst = o.max_burst;
-  switch (p.network.latency.kind) {
-    case sim::LatencyModel::Kind::kFixed:
-      fp.min_delay = fp.max_delay = to_delay_ms(p.network.latency.a);
-      break;
-    case sim::LatencyModel::Kind::kUniform:
-      fp.min_delay = to_delay_ms(p.network.latency.a);
-      fp.max_delay = to_delay_ms(p.network.latency.b);
-      break;
-    case sim::LatencyModel::Kind::kNormal:
-      break;  // rejected by validate()
+  sim::DelaySampler sampler(p.network.latency, p.network.clusters,
+                            p.network.wan_latency);
+  for (const ScenarioParams::LinkLatency& link : p.link_latencies) {
+    sampler.set_link_override(link.a, link.b, link.model);
   }
+  fp.sampler = std::move(sampler);
   fp.clusters = p.network.clusters;
-  if (p.network.clusters > 1) {
-    switch (p.network.wan_latency.kind) {
-      case sim::LatencyModel::Kind::kFixed:
-        fp.wan_min_delay = fp.wan_max_delay =
-            to_delay_ms(p.network.wan_latency.a);
-        break;
-      case sim::LatencyModel::Kind::kUniform:
-        fp.wan_min_delay = to_delay_ms(p.network.wan_latency.a);
-        fp.wan_max_delay = to_delay_ms(p.network.wan_latency.b);
-        break;
-      case sim::LatencyModel::Kind::kNormal:
-        break;  // rejected by validate()
-    }
-  }
   switch (p.network.loss.kind) {
     case sim::LossModel::Kind::kNone:
       break;
@@ -104,39 +83,29 @@ struct WallclockScenario::Impl {
   bool sched_stop = false;
   std::thread scheduler;
 
+  /// Control-plane trajectory sampler (only started when
+  /// adaptation.control.enabled): records the group-mean p_local every
+  /// ~200 ms so tests can watch it rise under congestion and recover.
+  std::thread plane_sampler;
+  metrics::TimeSeries p_local_ts{"p_local"};  // guarded by sched_mutex
+
   bool ran = false;
 
   [[nodiscard]] TimeMs rel_now() const { return fabric->now() - epoch; }
 
   void apply(const ScheduledAction& action);
   void scheduler_loop(std::vector<ScheduledAction> actions);
+  void sampler_loop();
   void run_senders(std::uint64_t* offered, std::uint64_t* admitted,
                    std::uint64_t* refused);
 };
 
 void WallclockScenario::validate(const ScenarioParams& params) {
-  std::string problems;
-  const auto reject = [&problems](const std::string& what) {
-    if (!problems.empty()) problems += "; ";
-    problems += what;
-  };
-  if (params.network.latency.kind == sim::LatencyModel::Kind::kNormal) {
-    reject("latency=normal is simulator-only (the fabric samples integer "
-           "uniform delays; use fixed:ms or uniform:lo:hi)");
-  }
-  if (params.network.clusters > 1 &&
-      params.network.wan_latency.kind == sim::LatencyModel::Kind::kNormal) {
-    reject("wan_latency=normal is simulator-only (use fixed:ms or "
-           "uniform:lo:hi)");
-  }
-  if (!params.link_latencies.empty()) {
-    reject("per-link latency overrides are simulator-only (the fabric "
-           "knows the cluster topology, not individual links)");
-  }
-  if (!problems.empty()) {
-    throw std::invalid_argument("unsupported on fabric=inmemory: " +
-                                problems);
-  }
+  // Nothing left to reject: the fabric samples delays through the same
+  // sim::DelaySampler as the simulator, which closed the last two gaps
+  // (normal-latency models and per-link overrides). The gate stays so a
+  // future simulator-only feature has exactly one place to be refused.
+  (void)params;
 }
 
 WallclockScenario::WallclockScenario(ScenarioParams params,
@@ -146,13 +115,14 @@ WallclockScenario::WallclockScenario(ScenarioParams params,
 }
 
 WallclockScenario::~WallclockScenario() {
-  if (impl_->scheduler.joinable()) {
+  if (impl_->scheduler.joinable() || impl_->plane_sampler.joinable()) {
     {
       std::lock_guard lock(impl_->sched_mutex);
       impl_->sched_stop = true;
     }
     impl_->sched_cv.notify_all();
-    impl_->scheduler.join();
+    if (impl_->scheduler.joinable()) impl_->scheduler.join();
+    if (impl_->plane_sampler.joinable()) impl_->plane_sampler.join();
   }
 }
 
@@ -202,6 +172,29 @@ void WallclockScenario::Impl::scheduler_loop(
     }
     if (sched_stop) return;
     apply(action);
+  }
+}
+
+void WallclockScenario::Impl::sampler_loop() {
+  std::unique_lock lock(sched_mutex);
+  while (!sched_stop) {
+    sched_cv.wait_for(lock, milliseconds(200));
+    if (sched_stop) return;
+    lock.unlock();
+    // Snapshot outside sched_mutex: p_local() takes each runtime's node
+    // lock, and holding two unrelated locks at once invites inversions.
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (auto& runtime : runtimes) {
+      const double p = runtime->p_local();
+      if (p >= 0.0) {
+        sum += p;
+        ++count;
+      }
+    }
+    const TimeMs t = rel_now();
+    lock.lock();
+    if (count > 0) p_local_ts.add(t, sum / static_cast<double>(count));
   }
 }
 
@@ -261,10 +254,13 @@ void WallclockScenario::Impl::run_senders(std::uint64_t* offered,
       // Tracker accounting happens in the deliver handler (the origin's
       // local delivery), atomically with the broadcast itself.
       if (params.adaptive) {
-        if (s.runtime->try_broadcast(std::move(payload))) {
+        // Blocking-BROADCAST semantics, like the simulator's sender path:
+        // out-of-tokens arrivals queue on the node (drained as the bucket
+        // refills) and only a full pending queue refuses.
+        if (s.runtime->enqueue_broadcast(std::move(payload))) {
           ++*admitted;
         } else {
-          ++*refused;  // out of tokens: this arrival is refused
+          ++*refused;  // pending queue full: this arrival is refused
         }
       } else {
         s.runtime->broadcast(std::move(payload));
@@ -318,6 +314,7 @@ WallclockResults WallclockScenario::run() {
           ++im.app_deliveries;
           im.tracker.on_delivery(e.id, id, t);
         });
+    runtime->set_pending_cap(im.params.pending_cap);
     im.runtimes.push_back(std::move(runtime));
   }
 
@@ -347,6 +344,9 @@ WallclockResults WallclockScenario::run() {
           im.scheduler_loop(std::move(actions));
         });
   }
+  if (im.params.adaptive && im.params.adaptation.control.enabled) {
+    im.plane_sampler = std::thread([&im] { im.sampler_loop(); });
+  }
 
   WallclockResults results;
   im.run_senders(&results.offered, &results.admitted,
@@ -361,14 +361,13 @@ WallclockResults WallclockScenario::run() {
   if (im.params.cooldown > 0) {
     std::this_thread::sleep_for(milliseconds(im.params.cooldown));
   }
-  if (im.scheduler.joinable()) {
-    {
-      std::lock_guard lock(im.sched_mutex);
-      im.sched_stop = true;
-    }
-    im.sched_cv.notify_all();
-    im.scheduler.join();
+  {
+    std::lock_guard lock(im.sched_mutex);
+    im.sched_stop = true;
   }
+  im.sched_cv.notify_all();
+  if (im.scheduler.joinable()) im.scheduler.join();
+  if (im.plane_sampler.joinable()) im.plane_sampler.join();
   for (auto& runtime : im.runtimes) runtime->stop();
 
   const TimeMs eval_start = im.params.warmup;
@@ -385,11 +384,46 @@ WallclockResults WallclockScenario::run() {
   results.fabric_dropped_down = im.fabric->dropped_down();
   results.sent_intra_cluster = im.fabric->sent_intra_cluster();
   results.sent_cross_cluster = im.fabric->sent_cross_cluster();
+  std::vector<std::size_t> depth_samples;
+  double p_local_sum = 0.0;
+  std::size_t p_local_nodes = 0;
+  double fanout_sum = 0.0;
   for (auto& runtime : im.runtimes) {
     const auto counters = runtime->counters();
     results.overflow_drops += counters.drops_overflow;
     results.age_limit_drops += counters.drops_age_limit;
     results.membership_sizes.push_back(runtime->membership_size());
+    results.max_pending_depth =
+        std::max(results.max_pending_depth, runtime->max_pending_depth());
+    const auto samples = runtime->pending_depth_samples();
+    depth_samples.insert(depth_samples.end(), samples.begin(), samples.end());
+    const double p = runtime->p_local();
+    if (p >= 0.0) {
+      p_local_sum += p;
+      ++p_local_nodes;
+    }
+    fanout_sum += static_cast<double>(runtime->effective_fanout());
+  }
+  if (p_local_nodes > 0) {
+    results.avg_p_local = p_local_sum / static_cast<double>(p_local_nodes);
+  }
+  if (!im.runtimes.empty()) {
+    results.avg_effective_fanout =
+        fanout_sum / static_cast<double>(im.runtimes.size());
+  }
+  if (!depth_samples.empty()) {
+    std::sort(depth_samples.begin(), depth_samples.end());
+    const auto pct = [&depth_samples](double q) {
+      return depth_samples[static_cast<std::size_t>(
+          q * static_cast<double>(depth_samples.size() - 1))];
+    };
+    results.pending_depth_p50 = pct(0.50);
+    results.pending_depth_p90 = pct(0.90);
+    results.pending_depth_p99 = pct(0.99);
+  }
+  {
+    std::lock_guard lock(im.sched_mutex);
+    results.p_local_ts = im.p_local_ts;
   }
   for (std::size_t s = 0; s < im.fabric->shard_count(); ++s) {
     results.shard_depths.push_back(im.fabric->max_queue_depth(s));

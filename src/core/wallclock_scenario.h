@@ -61,6 +61,24 @@ struct WallclockResults {
 
   std::uint64_t app_deliveries = 0;  // deliver-handler firings, non-origin
 
+  // Control-plane actuator state (adaptation.control.enabled runs only).
+  double avg_p_local = 0.0;           // mean live p_local at run end
+  double avg_effective_fanout = 0.0;  // mean effective fanout at run end
+
+  /// Blocking-BROADCAST back-pressure receipts: deepest any node's pending
+  /// queue ever got (bounded by ScenarioParams::pending_cap by
+  /// construction) plus depth percentiles over every retry-tick sample —
+  /// the numbers the backpressure bench record reports.
+  std::size_t max_pending_depth = 0;
+  std::size_t pending_depth_p50 = 0;
+  std::size_t pending_depth_p90 = 0;
+  std::size_t pending_depth_p99 = 0;
+
+  /// Group-mean p_local trajectory, sampled every ~200 ms of run time
+  /// (empty unless the control plane is enabled): the wall-clock twin of
+  /// ScenarioResults::p_local_ts, for the rise/recover assertions.
+  metrics::TimeSeries p_local_ts{"p_local"};
+
   /// Post-run state per node / per shard.
   std::vector<std::size_t> membership_sizes;
   std::vector<std::size_t> shard_depths;
@@ -80,10 +98,10 @@ class WallclockScenario {
   /// The hard compatibility gate: throws std::invalid_argument naming
   /// every feature of `params` the wall-clock path cannot honour, so a
   /// preset never runs with part of its configuration silently dropped.
-  /// Today that is the normal (Gaussian) latency model and per-link
-  /// latency overrides; everything else — partial views, locality +
-  /// bridges, WAN clusters, burst loss, failure and capacity schedules —
-  /// runs for real.
+  /// Since the fabric adopted the simulator's sim::DelaySampler there is
+  /// nothing left to reject — normal (Gaussian) latency and per-link
+  /// overrides, the last two simulator-only features, now run for real —
+  /// but the gate stays as the single place a future divergence lands.
   static void validate(const ScenarioParams& params);
 
   /// Runs the experiment in real time (warmup + duration + cooldown

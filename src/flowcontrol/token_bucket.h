@@ -56,7 +56,15 @@ class TokenBucket {
     if (now <= last_refill_) return;
     const double elapsed_s =
         static_cast<double>(now - last_refill_) / 1000.0;
-    tokens_ = std::min(capacity_, tokens_ + elapsed_s * rate_);
+    // The grant itself is clamped to one bucketful BEFORE being applied:
+    // the first refill after an arbitrarily long wall-clock stall (a
+    // suspended process, a scheduler hiccup, a clock step) tops the bucket
+    // up at most to `capacity_`, never manufactures a burst beyond it. A
+    // non-finite or negative grant (rate poisoned by NaN, or a negative
+    // rate) grants nothing instead of draining or corrupting the level.
+    double grant = elapsed_s * rate_;
+    if (!(grant > 0.0)) grant = 0.0;
+    tokens_ = std::min(capacity_, tokens_ + std::min(grant, capacity_));
     last_refill_ = now;
   }
 

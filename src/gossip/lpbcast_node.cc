@@ -12,6 +12,7 @@ LpbcastNode::LpbcastNode(NodeId self, GossipParams params,
     : self_(self),
       params_(params),
       membership_(std::move(membership)),
+      effective_fanout_(params.fanout),
       rng_(rng),
       event_ids_(params.max_event_ids) {
   // Digest exchange binds to the PartialView even when it sits under a
@@ -19,6 +20,7 @@ LpbcastNode::LpbcastNode(NodeId self, GossipParams params,
   // traffic must keep flowing through the wrapped view.
   membership::Membership* base = membership_.get();
   if (auto* locality = dynamic_cast<membership::LocalityView*>(base)) {
+    locality_view_ = locality;
     base = &locality->inner();
   }
   partial_view_ = dynamic_cast<membership::PartialView*>(base);
@@ -107,7 +109,7 @@ LpbcastNode::Outgoing LpbcastNode::on_round(TimeMs now) {
   }
   out.message.events = events_.snapshot();
   fill_seen_digest(out.message);
-  out.targets = membership_->targets(params_.fanout);
+  out.targets = membership_->targets(effective_fanout_);
   counters_.gossips_sent += out.targets.size();
   return out;
 }
@@ -140,6 +142,7 @@ void LpbcastNode::ingest_event(const Event& incoming, TimeMs now,
     ++counters_.deliveries;
     if (via_repair) ++counters_.events_recovered;
     if (deliver_) deliver_(incoming, now);
+    on_event_ingested(incoming, now);
     events_.insert(incoming);
     if (params_.recovery.enabled) {
       missing_.erase(incoming.id);

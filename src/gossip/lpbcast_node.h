@@ -32,6 +32,10 @@
 #include "membership/membership.h"
 #include "membership/partial_view.h"
 
+namespace agb::membership {
+class LocalityView;
+}  // namespace agb::membership
+
 namespace agb::gossip {
 
 /// Per-node protocol counters, exposed for tests and metrics.
@@ -153,6 +157,18 @@ class LpbcastNode {
     return gossip_membership_;
   }
 
+  /// The locality decorator, when the membership is one; nullptr otherwise.
+  /// The control plane steers its p_local through this.
+  [[nodiscard]] membership::LocalityView* locality_view() noexcept {
+    return locality_view_;
+  }
+
+  /// The fanout the next round will actually use. Equals params().fanout
+  /// until a control plane rescales it per congestion regime.
+  [[nodiscard]] std::size_t effective_fanout() const noexcept {
+    return effective_fanout_;
+  }
+
  protected:
   /// Called at the start of every round, before aging/emission. The adaptive
   /// node advances its sample period and runs the rate controller here.
@@ -173,6 +189,18 @@ class LpbcastNode {
 
   /// Called after garbage collection; estimators prune dead state here.
   virtual void after_gc(TimeMs /*now*/) {}
+
+  /// Called once per *novel* event the node learns from a peer (gossip or
+  /// repair — never its own broadcasts, never duplicates), right after the
+  /// local delivery. The control plane's starvation signal counts
+  /// remote-origin novelty here.
+  virtual void on_event_ingested(const Event& /*event*/, TimeMs /*now*/) {}
+
+  /// Fanout actuator (per-regime scaling). Clamped to >= 1; affects target
+  /// selection only — message contents and headers never see it.
+  void set_effective_fanout(std::size_t fanout) noexcept {
+    effective_fanout_ = fanout == 0 ? 1 : fanout;
+  }
 
   [[nodiscard]] EventBuffer& mutable_events() noexcept { return events_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
@@ -195,6 +223,8 @@ class LpbcastNode {
   std::unique_ptr<membership::Membership> membership_;
   membership::PartialView* partial_view_ = nullptr;  // non-owning downcast
   membership::GossipMembership* gossip_membership_ = nullptr;  // ditto
+  membership::LocalityView* locality_view_ = nullptr;          // ditto
+  std::size_t effective_fanout_;
   Rng rng_;
   EventBuffer events_;
   EventIdBuffer event_ids_;

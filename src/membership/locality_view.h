@@ -24,6 +24,7 @@
 // triggered it.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,23 @@ class LocalityView final : public Membership {
   [[nodiscard]] ClusterId home_cluster() const noexcept { return home_; }
   [[nodiscard]] const LocalityParams& params() const noexcept {
     return params_;
+  }
+  [[nodiscard]] double p_local() const noexcept { return params_.p_local; }
+
+  /// Control-plane actuator (adaptive::ControlPlane): retunes the
+  /// local-vs-bridge bias live. Takes effect on the next targets() call and
+  /// changes no RNG draw structure — each fanout slot still costs exactly
+  /// one bernoulli (when both pools are non-empty) plus one index draw, so
+  /// seeded runs with a constant p_local are byte-identical to before this
+  /// setter existed.
+  void set_p_local(double p) noexcept {
+    params_.p_local = std::clamp(p, 0.0, 1.0);
+  }
+
+  /// Where every node lives — lets the control plane classify an event's
+  /// origin as home or remote without holding its own copy of the map.
+  [[nodiscard]] const ClusterMap& clusters() const noexcept {
+    return *clusters_;
   }
 
   /// The current bridges of `cluster`: the lowest known NodeIds there

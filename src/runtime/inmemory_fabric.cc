@@ -13,13 +13,28 @@ std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard) {
   return seed + 0x9e3779b97f4a7c15ULL * (shard + 1);
 }
 
+/// Lifts the legacy integer delay fields into the shared sampler form:
+/// min == max collapses to a fixed model, otherwise a uniform range.
+sim::LatencyModel range_model(DurationMs lo, DurationMs hi) {
+  const auto a = static_cast<double>(lo);
+  const auto b = static_cast<double>(hi);
+  return lo >= hi ? sim::LatencyModel::fixed(a)
+                  : sim::LatencyModel::uniform(a, b);
+}
+
+sim::DelaySampler resolve_sampler(const InMemoryFabric::Params& params) {
+  if (params.sampler) return *params.sampler;
+  return sim::DelaySampler(
+      range_model(params.min_delay, params.max_delay), params.clusters,
+      range_model(params.wan_min_delay, params.wan_max_delay));
+}
+
 }  // namespace
 
 InMemoryFabric::InMemoryFabric(Params params, std::uint64_t seed)
     : params_(params),
-      zero_delay_(params.min_delay <= 0 && params.max_delay <= 0 &&
-                  (params.clusters <= 1 || (params.wan_min_delay <= 0 &&
-                                            params.wan_max_delay <= 0))),
+      sampler_(resolve_sampler(params)),
+      zero_delay_(sampler_.always_zero()),
       has_loss_(params.loss_probability > 0.0 || params.burst_loss),
       epoch_(std::chrono::steady_clock::now()) {
   // Round the shard count up to a power of two so node -> shard/slot is a
@@ -121,12 +136,10 @@ void InMemoryFabric::send_batch(Multicast batch) {
   // The intra/cross split mirrors sim::NetworkStats.sent: counted per
   // addressed target, before any drop, so the WAN-traffic share reflects
   // what the sender put on the wire.
-  if (params_.clusters > 1) {
-    const NodeId from_cluster =
-        batch.from % static_cast<NodeId>(params_.clusters);
+  if (sampler_.clusters() > 1) {
     std::size_t cross = 0;
     for (NodeId to : batch.targets) {
-      if (to % static_cast<NodeId>(params_.clusters) != from_cluster) ++cross;
+      if (sampler_.cross_cluster(batch.from, to)) ++cross;
     }
     sent_cross_cluster_.fetch_add(cross, std::memory_order_relaxed);
     sent_intra_cluster_.fetch_add(batch.targets.size() - cross,
@@ -214,23 +227,13 @@ void InMemoryFabric::send_batch(Multicast batch) {
               ReadyBatch{batch.from, batch.payload, std::move(sub)});
         } else {
           const TimeMs base = now();
-          const NodeId clusters = static_cast<NodeId>(params_.clusters);
           for (NodeId to : sub) {
-            // Cluster rule: a boundary-crossing datagram rides the WAN
-            // delay range, an intra-cluster one the LAN range — the
-            // wall-clock twin of SimNetwork's latency selection.
-            const bool cross =
-                clusters > 1 && batch.from % clusters != to % clusters;
-            const DurationMs lo =
-                cross ? params_.wan_min_delay : params_.min_delay;
-            const DurationMs hi =
-                cross ? params_.wan_max_delay : params_.max_delay;
-            const DurationMs spread = hi - lo;
+            // Shared latency selection (per-link override > cluster rule >
+            // default), sampled from this shard's Rng — the wall-clock twin
+            // of SimNetwork's selection, including normal distributions and
+            // pinned per-link models.
             const DurationMs delay =
-                lo + (spread > 0
-                          ? static_cast<DurationMs>(shard.rng.next_below(
-                                static_cast<std::uint64_t>(spread) + 1))
-                          : 0);
+                sampler_.sample(batch.from, to, shard.rng);
             // Each entry aliases the batch payload: a refcount bump per
             // target. Equal due times keep insertion order (multimap),
             // preserving per-receiver FIFO.

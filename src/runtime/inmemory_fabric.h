@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <unordered_map>
@@ -39,6 +40,7 @@
 #include "common/datagram.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/delay_sampler.h"
 
 namespace agb::runtime {
 
@@ -73,6 +75,14 @@ class InMemoryFabric final : public DatagramNetwork {
     /// queue is saturated. 1 reproduces per-datagram dispatch (the
     /// pre-sharding baseline, kept for A/B benchmarks); clamped to >= 1.
     std::size_t max_burst = 64;
+    /// Full latency topology, shared with sim::SimNetwork: any
+    /// sim::LatencyModel (fixed / uniform / normal) as the default and WAN
+    /// models, plus per-link overrides. When set it replaces the integer
+    /// delay fields above entirely (including the cluster rule used for
+    /// latency and the intra/cross stats split); when empty the fabric
+    /// builds an equivalent sampler from min/max_delay, clusters and
+    /// wan_min/max_delay, so existing callers are unchanged.
+    std::optional<sim::DelaySampler> sampler;
   };
 
   explicit InMemoryFabric(Params params, std::uint64_t seed = 1);
@@ -233,6 +243,10 @@ class InMemoryFabric final : public DatagramNetwork {
   [[nodiscard]] bool is_down(NodeId node) const;
 
   Params params_;
+  /// Resolved latency topology (Params::sampler, or the integer delay
+  /// fields lifted into an equivalent sampler). Per-datagram draws come
+  /// from the owning shard's Rng, so shard streams stay independent.
+  sim::DelaySampler sampler_;
   /// No delay to model: every datagram goes through the Shard::ready FIFO.
   bool zero_delay_;
   bool has_loss_;

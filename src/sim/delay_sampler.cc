@@ -1,0 +1,24 @@
+#include "sim/delay_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agb::sim {
+
+DurationMs LatencyModel::sample(Rng& rng) const {
+  double delay = 0.0;
+  switch (kind) {
+    case Kind::kFixed:
+      delay = a;
+      break;
+    case Kind::kUniform:
+      delay = a + (b - a) * rng.uniform();
+      break;
+    case Kind::kNormal:
+      delay = rng.normal(a, b);
+      break;
+  }
+  return static_cast<DurationMs>(std::llround(std::max(delay, 0.0)));
+}
+
+}  // namespace agb::sim

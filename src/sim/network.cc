@@ -1,28 +1,14 @@
 #include "sim/network.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace agb::sim {
 
-DurationMs LatencyModel::sample(Rng& rng) const {
-  double delay = 0.0;
-  switch (kind) {
-    case Kind::kFixed:
-      delay = a;
-      break;
-    case Kind::kUniform:
-      delay = a + (b - a) * rng.uniform();
-      break;
-    case Kind::kNormal:
-      delay = rng.normal(a, b);
-      break;
-  }
-  return static_cast<DurationMs>(std::llround(std::max(delay, 0.0)));
-}
-
 SimNetwork::SimNetwork(Simulator& sim, NetworkParams params, Rng rng)
-    : sim_(sim), params_(params), rng_(rng) {}
+    : sim_(sim),
+      params_(params),
+      rng_(rng),
+      sampler_(params.latency, params.clusters, params.wan_latency) {}
 
 void SimNetwork::attach(NodeId node, DatagramHandler handler) {
   handlers_[node] = std::move(handler);
@@ -69,9 +55,7 @@ void SimNetwork::send_batch(Multicast batch) {
     // The intra/cross split mirrors `sent`: counted per addressed target,
     // before any drop, so the WAN-traffic share reflects what the sender
     // put on the wire.
-    const bool cross_cluster =
-        params_.clusters > 1 &&
-        batch.from % params_.clusters != to % params_.clusters;
+    const bool cross_cluster = sampler_.cross_cluster(batch.from, to);
     ++(cross_cluster ? stats_.sent_cross_cluster : stats_.sent_intra_cluster);
     if (sender_down || down_.contains(to)) {
       ++stats_.dropped_down;
@@ -85,17 +69,9 @@ void SimNetwork::send_batch(Multicast batch) {
       ++stats_.dropped_loss;
       continue;
     }
-    // Latency selection: explicit per-link override > cluster rule >
-    // default.
-    const LatencyModel* latency = &params_.latency;
-    if (cross_cluster) {
-      latency = &params_.wan_latency;
-    }
-    if (!link_latency_.empty()) {
-      auto it = link_latency_.find(symmetric_link_key(batch.from, to));
-      if (it != link_latency_.end()) latency = &it->second;
-    }
-    const DurationMs delay = latency->sample(rng_);
+    // Latency selection (inside the sampler): explicit per-link override >
+    // cluster rule > default.
+    const DurationMs delay = sampler_.sample(batch.from, to, rng_);
     auto group = std::find_if(groups.begin(), groups.end(),
                               [delay](const DelayGroup& g) {
                                 return g.delay == delay;
@@ -158,9 +134,9 @@ bool SimNetwork::partitioned(NodeId a, NodeId b) const {
 }
 
 void SimNetwork::set_link_latency(NodeId a, NodeId b, LatencyModel model) {
-  link_latency_[symmetric_link_key(a, b)] = model;
+  sampler_.set_link_override(a, b, model);
 }
 
-void SimNetwork::clear_link_latencies() { link_latency_.clear(); }
+void SimNetwork::clear_link_latencies() { sampler_.clear_link_overrides(); }
 
 }  // namespace agb::sim

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -17,29 +16,10 @@
 #include "common/datagram.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "sim/delay_sampler.h"
 #include "sim/simulator.h"
 
 namespace agb::sim {
-
-/// Latency distribution for one datagram hop.
-struct LatencyModel {
-  enum class Kind { kFixed, kUniform, kNormal };
-  Kind kind = Kind::kFixed;
-  double a = 1.0;  // fixed: delay; uniform: lo; normal: mean
-  double b = 0.0;  // uniform: hi; normal: stddev
-
-  static LatencyModel fixed(double delay_ms) {
-    return {Kind::kFixed, delay_ms, 0.0};
-  }
-  static LatencyModel uniform(double lo_ms, double hi_ms) {
-    return {Kind::kUniform, lo_ms, hi_ms};
-  }
-  static LatencyModel normal(double mean_ms, double stddev_ms) {
-    return {Kind::kNormal, mean_ms, stddev_ms};
-  }
-
-  [[nodiscard]] DurationMs sample(Rng& rng) const;
-};
 
 /// Loss process for datagrams. kBurst is a two-state Gilbert-Elliott chain:
 /// in the good state packets drop with p_good, in the bad state with p_bad;
@@ -71,15 +51,6 @@ struct LossModel {
     return m;
   }
 };
-
-/// Canonical key for a symmetric (unordered) node pair. Both the partition
-/// set and the per-link latency table index on this, so partition(a,b) /
-/// set_link_latency(a,b) and their (b,a) spellings always hit the same
-/// entry.
-[[nodiscard]] constexpr std::pair<NodeId, NodeId> symmetric_link_key(
-    NodeId a, NodeId b) {
-  return a < b ? std::pair{a, b} : std::pair{b, a};
-}
 
 struct NetworkParams {
   LatencyModel latency = LatencyModel::fixed(1.0);
@@ -147,6 +118,9 @@ class SimNetwork final : public DatagramNetwork {
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] const DelaySampler& delay_sampler() const noexcept {
+    return sampler_;
+  }
 
  private:
   [[nodiscard]] bool loss_drop();
@@ -154,10 +128,12 @@ class SimNetwork final : public DatagramNetwork {
   Simulator& sim_;
   NetworkParams params_;
   Rng rng_;
+  /// Latency topology (default model, cluster rule, per-link overrides);
+  /// shares precedence and draw semantics with InMemoryFabric.
+  DelaySampler sampler_;
   std::unordered_map<NodeId, DatagramHandler> handlers_;
   std::set<NodeId> down_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
-  std::map<std::pair<NodeId, NodeId>, LatencyModel> link_latency_;
   bool burst_bad_ = false;
   NetworkStats stats_;
 };

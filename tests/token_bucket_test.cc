@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "flowcontrol/rate_controller.h"
 
 namespace agb::flowcontrol {
@@ -74,6 +76,36 @@ TEST(TokenBucketTest, ZeroRateNeverRefills) {
   (void)b.try_take(0);
   (void)b.try_take(0);
   EXPECT_FALSE(b.try_take(1'000'000));
+}
+
+TEST(TokenBucketTest, LongStallRefillsAtMostOneBucketful) {
+  // Regression: a multi-hour wall-clock stall (suspended process, clock
+  // step) used to compute an astronomically large grant; the clamp must top
+  // the bucket up to capacity exactly, so at most floor(capacity) sends
+  // succeed after the stall no matter how long it lasted.
+  TokenBucket b(5.0, 8.0, 0);
+  while (b.try_take(0)) {
+  }
+  const TimeMs after_stall = 72LL * 3600 * 1000;  // 72 h later
+  EXPECT_DOUBLE_EQ(b.level(after_stall), 8.0);
+  int sent = 0;
+  while (b.try_take(after_stall)) ++sent;
+  EXPECT_EQ(sent, 8);
+}
+
+TEST(TokenBucketTest, NegativeOrNaNRateGrantsNothing) {
+  // A poisoned rate (negative from a buggy controller, NaN from a 0/0 in a
+  // derived quantity) must neither drain the bucket nor corrupt the level.
+  TokenBucket neg(-3.0, 4.0, 0);
+  (void)neg.try_take(0);
+  EXPECT_DOUBLE_EQ(neg.level(10'000), 3.0);
+
+  TokenBucket nan_bucket(10.0, 4.0, 0);
+  (void)nan_bucket.try_take(0);
+  nan_bucket.set_rate(std::numeric_limits<double>::quiet_NaN(), 0);
+  EXPECT_DOUBLE_EQ(nan_bucket.level(10'000), 3.0);
+  nan_bucket.set_rate(10.0, 10'000);
+  EXPECT_DOUBLE_EQ(nan_bucket.level(10'100), 4.0);  // recovers once sane
 }
 
 TEST(TokenBucketTest, BoundsLongRunThroughput) {

@@ -31,26 +31,33 @@
 //   latency=fixed:ms | uniform:lo:hi | normal:mean:stddev   (fixed:1)
 //   wan_latency=<same grammar>  clusters(1)
 //   locality(0) p_local(0.85) bridges_per_cluster(1) failure_detector(0)
+//   control_plane(0) control_hysteresis(0.25) p_local_min(0.5)
+//   p_local_max(0.98) p_local_step(0.02) fanout_congested_scale(0.75)
+//   fanout_spare_scale(1.25) starve_threshold(0.05)
 //   gossip_membership(0) suspect_after_ms(4*period) down_after_ms(8*period)
 //   membership_budget(256) migrate_on_rejoin(0)
 //   loss=p (iid) | burst:pgood:pbad:pgb:pbg                 (0)
 //   capacity=at_ms:frac:cap[,...]     failures=at_ms:node:up|down[,...]
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
 //   csv=prefix   (writes <prefix>_series.csv)
-//   bench=path.json   (sim fabric only: writes a BENCH_sim_scale record —
+//   bench=path.json   (sim fabric: writes a BENCH_sim_scale record —
 //                      preset, n, sim_seconds, wall_seconds,
 //                      nodes_simulated_per_second, bytes_per_node,
 //                      peak_event_queue_len — for the perf trajectory;
-//                      pair with scenario=scale-1e5 / scale-1e6)
+//                      pair with scenario=scale-1e5 / scale-1e6.
+//                      inmemory fabric: writes a BENCH_backpressure record —
+//                      pending-queue depth p50/p90/p99/max, avg p_local,
+//                      avg effective fanout; pair with
+//                      scenario=adaptive-backpressure)
 //
 // fabric=inmemory runs the preset on the wall-clock runtime instead of the
 // simulator: real NodeRuntime threads over the sharded InMemoryFabric
 // (shards=N receiver shards, default 4), via core::WallclockScenario. The
 // full preset runs for real — partial views, locality bias + bridges, WAN
-// cluster delays, burst loss, failure and capacity schedules; the few
-// simulator-only features left (latency=normal, per-link overrides) are a
-// hard error (exit 2), never silently dropped. duration_s is then real
-// seconds — keep it small:
+// cluster delays (all latency models, including normal and per-link
+// overrides, via the shared sim::DelaySampler), burst loss, failure and
+// capacity schedules, and the adaptive control plane with real blocking
+// back-pressure. duration_s is then real seconds — keep it small:
 //   agb_sim scenario=wan-directional fabric=inmemory n=30 period_ms=50 duration_s=5
 #include <sys/resource.h>
 
@@ -148,8 +155,8 @@ int run_sweep(const agb::core::ScenarioPreset& preset, const agb::Config& cfg,
 /// same reliability metrics as the simulator path plus end-to-end delivery
 /// throughput (datagrams/s), the runtime number BENCH trajectories track.
 int run_wallclock(const agb::core::ScenarioParams& p,
-                  const agb::core::ScenarioPreset& preset,
-                  std::size_t shards) {
+                  const agb::core::ScenarioPreset& preset, std::size_t shards,
+                  const std::string& bench_path) {
   using namespace agb;
 
   core::WallclockOptions options;
@@ -222,11 +229,52 @@ int run_wallclock(const agb::core::ScenarioParams& p,
                 p.failure_schedule.size(),
                 p.failure_detector ? " (perfect detector)" : "");
   }
+  if (p.adaptive && p.adaptation.control.enabled) {
+    std::printf("control plane    : avg p_local %.3f   avg fanout %.2f   "
+                "pending depth p50/p90/p99/max %zu/%zu/%zu/%zu (cap %zu)\n",
+                r.avg_p_local, r.avg_effective_fanout, r.pending_depth_p50,
+                r.pending_depth_p90, r.pending_depth_p99, r.max_pending_depth,
+                p.pending_cap);
+  }
   std::printf("app deliveries   : %llu events\n",
               static_cast<unsigned long long>(r.app_deliveries));
   std::printf("queue depth      : per shard:");
   for (std::size_t depth : r.shard_depths) std::printf(" %zu", depth);
   std::printf("\n");
+
+  if (!bench_path.empty()) {
+    std::ofstream out(bench_path);
+    if (!out) {
+      std::fprintf(stderr, "agb_sim: cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+    char record[512];
+    std::snprintf(record, sizeof(record),
+                  "{\n"
+                  "  \"bench\": \"backpressure\",\n"
+                  "  \"preset\": \"%s\",\n"
+                  "  \"n\": %zu,\n"
+                  "  \"pending_cap\": %zu,\n"
+                  "  \"pending_depth_p50\": %zu,\n"
+                  "  \"pending_depth_p90\": %zu,\n"
+                  "  \"pending_depth_p99\": %zu,\n"
+                  "  \"max_pending_depth\": %zu,\n"
+                  "  \"refused_broadcasts\": %llu,\n"
+                  "  \"avg_p_local\": %.4f,\n"
+                  "  \"avg_effective_fanout\": %.3f\n"
+                  "}\n",
+                  preset.name.c_str(), p.n, p.pending_cap,
+                  r.pending_depth_p50, r.pending_depth_p90,
+                  r.pending_depth_p99, r.max_pending_depth,
+                  static_cast<unsigned long long>(r.refused_broadcasts),
+                  r.avg_p_local, r.avg_effective_fanout);
+    out << record;
+    std::printf("bench record     : %s (pending p50/p90/p99/max "
+                "%zu/%zu/%zu/%zu, %llu refused)\n",
+                bench_path.c_str(), r.pending_depth_p50, r.pending_depth_p90,
+                r.pending_depth_p99, r.max_pending_depth,
+                static_cast<unsigned long long>(r.refused_broadcasts));
+  }
   return 0;
 }
 
@@ -314,6 +362,12 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (cfg.raw("p_local") && p.adaptive && p.adaptation.control.enabled) {
+    std::fprintf(stderr,
+                 "agb_sim: warning: p_local= sets only the starting point: "
+                 "the control plane drives p_local at runtime (set "
+                 "control_plane=0 to pin it)\n");
+  }
 
   const std::string csv_prefix = cfg.get_string("csv", "");
   const std::string bench_path = cfg.get_string("bench", "");
@@ -325,7 +379,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "agb_sim: warning: unknown key '%s'\n", key.c_str());
   }
 
-  if (fabric == "inmemory") return run_wallclock(p, *preset, shards);
+  if (fabric == "inmemory") {
+    return run_wallclock(p, *preset, shards, bench_path);
+  }
   if (fabric != "sim") {
     std::fprintf(stderr, "agb_sim: unknown fabric '%s' (sim | inmemory)\n",
                  fabric.c_str());
