@@ -29,12 +29,29 @@ struct Scenario::SenderState {
   bool retry_armed = false;
 };
 
+std::optional<std::pair<TimeMs, TimeMs>> chaos_recovery_window(
+    const ScenarioParams& params) {
+  if (params.chaos.empty()) return std::nullopt;
+  const TimeMs close = params.chaos.last_window_end();
+  if (close <= 0) return std::nullopt;  // open-ended faults never heal
+  const TimeMs from =
+      close + kChaosRecoveryRounds * params.gossip.gossip_period;
+  const TimeMs eval_end = params.warmup + params.duration;
+  if (from >= eval_end) return std::nullopt;
+  return std::make_pair(from, eval_end);
+}
+
 Scenario::Scenario(ScenarioParams params)
     : params_(std::move(params)),
       master_rng_(params_.seed),
       tracker_(params_.n) {
   net_ = std::make_unique<sim::SimNetwork>(sim_, params_.network,
                                            master_rng_.split());
+  if (!params_.chaos.empty()) {
+    fault_plane_ = std::make_unique<fault::FaultPlane>(
+        params_.chaos, fault::chaos_seed(params_.seed));
+    net_->set_fault_plane(fault_plane_.get());
+  }
 }
 
 Scenario::~Scenario() = default;
@@ -421,6 +438,19 @@ ScenarioResults Scenario::run() {
     results.repair_requests += node->counters().repair_requests;
     results.repair_replies += node->counters().repair_replies;
     results.events_recovered += node->counters().events_recovered;
+    if (const auto* gm = node->gossip_membership()) {
+      results.membership_transitions.suspicions += gm->counters().suspicions;
+      results.membership_transitions.downs += gm->counters().downs;
+      results.membership_transitions.revivals += gm->counters().revivals;
+    }
+  }
+
+  if (fault_plane_ != nullptr) {
+    results.chaos = fault_plane_->stats();
+    if (const auto window = chaos_recovery_window(params_)) {
+      results.post_chaos_delivery =
+          tracker_.report(window->first, window->second);
+    }
   }
 
   if (!adaptive_nodes_.empty()) {

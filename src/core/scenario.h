@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "adaptive/adaptive_node.h"
@@ -21,6 +22,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "fault/fault_plane.h"
 #include "gossip/lpbcast_node.h"
 #include "gossip/params.h"
 #include "membership/gossip_membership.h"
@@ -122,6 +124,15 @@ struct ScenarioParams {
   std::vector<CapacityChange> capacity_schedule;
   std::vector<FailureEvent> failure_schedule;
 
+  /// Deterministic fault injection (fault::FaultPlane): corruption,
+  /// truncation, duplication, reorder, one-way partitions and gray
+  /// failures, declared as time-windowed rules. Empty = clean run, which
+  /// takes the exact pre-fault code path (same RNG draw order, so golden
+  /// fingerprints are untouched). The plane is seeded from `seed` via a
+  /// fixed derivation — never from a master-RNG split — so adding chaos
+  /// does not perturb the protocol's own randomness.
+  fault::ChaosSchedule chaos;
+
   /// Bound on each sender's pending queue; arrivals beyond it are refused
   /// (models application back-pressure on the paper's blocking BROADCAST).
   std::size_t pending_cap = 64;
@@ -163,6 +174,19 @@ struct ScenarioResults {
 
   sim::NetworkStats net;
 
+  /// What the fault plane actually injected (all zero on clean runs).
+  fault::FaultStats chaos;
+  /// Self-healing receipt: delivery over the window starting
+  /// kChaosRecoveryRounds gossip rounds after the last fault window
+  /// closes. Present only when a chaos schedule ran and left room for the
+  /// recovery window inside the evaluation window; the invariant suites
+  /// pin its avg_receiver_pct against the preset floor.
+  std::optional<metrics::DeliveryReport> post_chaos_delivery;
+  /// Group-wide gossip-membership liveness transitions (all zero unless
+  /// gossip_membership): gray failures must keep `downs` at zero,
+  /// asymmetric partitions must raise `suspicions`.
+  membership::MembershipCounters membership_transitions;
+
   /// High-water mark of the simulator's event queue over the run — the
   /// capacity receipt the scale presets track (the round wheel keeps this
   /// O(n/period + in-flight deliveries), not O(n)).
@@ -178,6 +202,18 @@ struct ScenarioResults {
   metrics::TimeSeries p_local_ts{"p_local"};
   metrics::TimeSeries fanout_ts{"fanout"};
 };
+
+/// Rounds a group is granted to re-converge after the last fault window
+/// closes before the self-healing invariants start judging delivery again.
+/// Shared by both harnesses and the parity suite, so "recovers within K
+/// rounds" means the same K everywhere.
+inline constexpr DurationMs kChaosRecoveryRounds = 5;
+
+/// The recovery window the self-healing invariants measure delivery over:
+/// [last fault-window close + K rounds, eval_end), or nullopt when there is
+/// no chaos schedule or no room left inside the evaluation window.
+[[nodiscard]] std::optional<std::pair<TimeMs, TimeMs>> chaos_recovery_window(
+    const ScenarioParams& params);
 
 /// The sender layout both harnesses share: `senders` ids spread evenly
 /// over the id space (i * n / senders), clamped to [1, n] — part of the
@@ -264,6 +300,7 @@ class Scenario {
   Rng master_rng_;
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> net_;
+  std::unique_ptr<fault::FaultPlane> fault_plane_;  // null on clean runs
   std::unique_ptr<NodeArenaBase> node_storage_;  // owns the nodes
   std::vector<gossip::LpbcastNode*> nodes_;      // arena pointers, id order
   std::vector<adaptive::AdaptiveLpbcastNode*> adaptive_nodes_;  // or empty

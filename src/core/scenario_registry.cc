@@ -39,6 +39,79 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
   return row[b.size()];
 }
 
+/// Every fault kind parse_chaos_spec accepts, in grammar order — also the
+/// candidate list behind the "did you mean" hint for misspelt kinds.
+constexpr const char* kChaosKinds[] = {"corrupt", "truncate", "dup",
+                                       "reorder", "oneway",   "stall",
+                                       "skew"};
+
+/// Window bound in seconds with an optional trailing 's' ("15" or "15s"),
+/// converted to ms.
+bool parse_chaos_time(std::string text, TimeMs* out) {
+  if (!text.empty() && text.back() == 's') text.pop_back();
+  if (text.empty()) return false;
+  try {
+    const double seconds = std::stod(text);
+    if (seconds < 0.0) return false;
+    *out = static_cast<TimeMs>(seconds * 1000.0);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+bool parse_chaos_rule(const std::string& item, fault::FaultRule* out) {
+  fault::FaultRule rule;
+  std::string body = item;
+  const auto at = body.find('@');
+  if (at != std::string::npos) {
+    const auto bounds = split(body.substr(at + 1), '-');
+    body = body.substr(0, at);
+    if (bounds.size() != 2 || !parse_chaos_time(bounds[0], &rule.start) ||
+        !parse_chaos_time(bounds[1], &rule.end) || rule.end <= rule.start) {
+      return false;
+    }
+  }
+  const auto fields = split(body, ':');
+  if (fields.empty()) return false;
+  const std::string& kind = fields[0];
+  try {
+    if (kind == "corrupt" && fields.size() == 2) {
+      rule.kind = fault::FaultKind::kCorrupt;
+      rule.rate = std::stod(fields[1]);
+    } else if (kind == "truncate" && fields.size() == 2) {
+      rule.kind = fault::FaultKind::kTruncate;
+      rule.rate = std::stod(fields[1]);
+    } else if (kind == "dup" && fields.size() == 2) {
+      rule.kind = fault::FaultKind::kDuplicate;
+      rule.rate = std::stod(fields[1]);
+    } else if (kind == "reorder" &&
+               (fields.size() == 2 || fields.size() == 3)) {
+      rule.kind = fault::FaultKind::kReorder;
+      rule.rate = std::stod(fields[1]);
+      rule.amount = fields.size() == 3 ? std::stoll(fields[2]) : 50;
+    } else if (kind == "oneway" && fields.size() == 3) {
+      rule.kind = fault::FaultKind::kOneWay;
+      rule.a = static_cast<NodeId>(std::stoul(fields[1]));
+      rule.b = fields[2] == "*"
+                   ? fault::kAnyNode
+                   : static_cast<NodeId>(std::stoul(fields[2]));
+    } else if ((kind == "stall" || kind == "skew") && fields.size() == 3) {
+      rule.kind = kind == "stall" ? fault::FaultKind::kStall
+                                  : fault::FaultKind::kSkew;
+      rule.a = static_cast<NodeId>(std::stoul(fields[1]));
+      rule.amount = std::stoll(fields[2]);
+    } else {
+      return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (rule.rate < 0.0 || rule.rate > 1.0 || rule.amount < 0) return false;
+  *out = rule;
+  return true;
+}
+
 /// The calibrated paper60 configuration: 60 nodes, fanout 4, 2 s gossip
 /// period — the period at which this substrate's capacity knee lands at the
 /// paper's buffer-size axis (~120 events at 30 msg/s; see EXPERIMENTS.md).
@@ -353,6 +426,91 @@ ScenarioParams build_scale_1e6(const Config& cfg) {
   return params_from_config(cfg, scale_defaults(1'000'000, cfg));
 }
 
+// Fault-injection presets. All three compute their fault windows AFTER
+// params_from_config so quick/parity scale-downs of warmup/duration move
+// the windows with them, and all three leave room between the last window
+// close and the evaluation end for the kChaosRecoveryRounds self-healing
+// report. Injected nodes (3, 5) are non-senders under scenario_sender_ids
+// at both the paper scale (senders 0/15/30/45) and the parity scale
+// (senders 0/4/8), so the fault target never doubles as a traffic source.
+
+ScenarioParams build_chaos_soak(const Config& cfg) {
+  // Arbitrary datagram mutation mid-run: corruption and truncation feed
+  // the fuzz-hardened codec in a live run (decode must answer monostate,
+  // never crash), duplication stresses the dedup digest, reordering the
+  // age-based purge. Pull repair is on so the healing phase has teeth.
+  auto p = paper60_defaults(cfg);
+  p.gossip.recovery.enabled = true;
+  p = params_from_config(cfg, p);
+  if (!cfg.raw("chaos")) {
+    const TimeMs open = p.warmup + p.duration / 4;
+    const TimeMs close = p.warmup + p.duration / 2;
+    const DurationMs shuffle = p.gossip.gossip_period / 2;
+    p.chaos.rules = {
+        {fault::FaultKind::kCorrupt, cfg.get_double("chaos_corrupt", 0.15),
+         fault::kAnyNode, fault::kAnyNode, 0, open, close},
+        {fault::FaultKind::kTruncate, cfg.get_double("chaos_truncate", 0.05),
+         fault::kAnyNode, fault::kAnyNode, 0, open, close},
+        {fault::FaultKind::kDuplicate, cfg.get_double("chaos_dup", 0.10),
+         fault::kAnyNode, fault::kAnyNode, 0, open, close},
+        {fault::FaultKind::kReorder, cfg.get_double("chaos_reorder", 0.10),
+         fault::kAnyNode, fault::kAnyNode, shuffle, open, close},
+    };
+  }
+  return p;
+}
+
+ScenarioParams build_asymmetric_partition(const Config& cfg) {
+  // One-way link failures under gossiped liveness: node 3 can hear the
+  // group but nothing it sends arrives (the hardest case for suspicion
+  // timeouts — it believes everyone is fine while everyone suspects it),
+  // plus a single dead 1→2 direction whose reverse stays alive. The
+  // receipt is suspicion traffic during the window and a re-converged
+  // membership after it: node 3's own fresh heartbeats beat the group's
+  // suspect/down records once its datagrams flow again.
+  auto p = paper60_defaults(cfg);
+  p.gossip_membership = true;
+  p.failure_detector = false;
+  p = params_from_config(cfg, p);
+  derive_suspicion_timeouts(cfg, p);
+  if (!cfg.raw("chaos")) {
+    const TimeMs open = p.warmup + p.duration / 4;
+    const TimeMs close = p.warmup + p.duration / 2;
+    p.chaos.rules = {
+        {fault::FaultKind::kOneWay, 0.0, 3, fault::kAnyNode, 0, open, close},
+        {fault::FaultKind::kOneWay, 0.0, 1, 2, 0, open, close},
+    };
+  }
+  return p;
+}
+
+ScenarioParams build_gray_failure(const Config& cfg) {
+  // Gray failures: node 3's receive path stalls (slow-but-up — its round
+  // thread keeps gossiping on cadence) and node 5's clock skews forward by
+  // two gossip periods — deliberately under the 4-period suspicion
+  // timeout, so a correct membership layer rides both out without a single
+  // down verdict. Both are wall-clock phenomena; under the simulator the
+  // rules are inert and the preset doubles as a clean-run control.
+  auto p = paper60_defaults(cfg);
+  p.gossip_membership = true;
+  p.failure_detector = false;
+  p = params_from_config(cfg, p);
+  derive_suspicion_timeouts(cfg, p);
+  if (!cfg.raw("chaos")) {
+    const TimeMs open = p.warmup + p.duration / 4;
+    const TimeMs close = p.warmup + (p.duration * 3) / 4;
+    const auto stall = std::max<DurationMs>(5, p.gossip.gossip_period / 5);
+    const DurationMs skew = 2 * p.gossip.gossip_period;
+    p.chaos.rules = {
+        {fault::FaultKind::kStall, 0.0, 3, fault::kAnyNode, stall, open,
+         close},
+        {fault::FaultKind::kSkew, 0.0, 5, fault::kAnyNode, skew, open,
+         close},
+    };
+  }
+  return p;
+}
+
 }  // namespace
 
 std::vector<double> SweepSpec::values() const {
@@ -458,6 +616,51 @@ bool parse_failure_spec(const std::string& spec,
   }
   *out = std::move(parsed);
   return true;
+}
+
+bool parse_chaos_spec(const std::string& spec, fault::ChaosSchedule* out) {
+  fault::ChaosSchedule parsed;
+  for (const auto& item : split(spec, ',')) {
+    fault::FaultRule rule;
+    if (!parse_chaos_rule(item, &rule)) return false;
+    parsed.rules.push_back(rule);
+  }
+  if (parsed.empty()) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
+std::string bad_chaos_spec_message(const std::string& spec) {
+  std::string message = "bad chaos spec '" + spec + "'";
+  for (const auto& item : split(spec, ',')) {
+    const std::string kind =
+        item.substr(0, std::min(item.find(':'), item.find('@')));
+    bool known = false;
+    std::size_t best = std::string::npos;
+    const char* nearest = nullptr;
+    for (const char* candidate : kChaosKinds) {
+      if (kind == candidate) {
+        known = true;
+        break;
+      }
+      const std::size_t distance = edit_distance(kind, candidate);
+      if (distance < best) {
+        best = distance;
+        nearest = candidate;
+      }
+    }
+    if (!known && nearest != nullptr &&
+        best <= std::max<std::size_t>(2, kind.size() / 3)) {
+      message += "; did you mean: ";
+      message += nearest;
+      message += '?';
+    }
+  }
+  message +=
+      " rules: corrupt:p | truncate:p | dup:p | reorder:p[:ms] | "
+      "oneway:a:b|* | stall:node:ms | skew:node:ms, each with an optional "
+      "@start[s]-end[s] window";
+  return message;
 }
 
 ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
@@ -613,6 +816,13 @@ ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
       die_bad_spec("failures", *spec);
     }
   }
+  if (auto spec = cfg.raw("chaos")) {
+    if (!parse_chaos_spec(*spec, &p.chaos)) {
+      // Richer than die_bad_spec: the message carries the nearest-kind
+      // hint, so a CLI typo gets a correction instead of just a rejection.
+      throw std::invalid_argument(bad_chaos_spec_message(*spec));
+    }
+  }
   return p;
 }
 
@@ -667,6 +877,15 @@ ScenarioRegistry::ScenarioRegistry() {
        build_scale_1e5});
   add({"scale-1e6", "1M nodes on partial views (memory-bound scale soak)",
        build_scale_1e6});
+  add({"chaos-soak",
+       "mid-run corruption/truncation/dup/reorder burst; must self-heal",
+       build_chaos_soak});
+  add({"asymmetric-partition",
+       "one-way link failures: suspicion under fire, re-convergence after",
+       build_asymmetric_partition});
+  add({"gray-failure",
+       "stalled + clock-skewed nodes stay slow-but-up; no down verdicts",
+       build_gray_failure});
 }
 
 void ScenarioRegistry::add(ScenarioPreset preset) {

@@ -22,6 +22,9 @@
 //   wan-directional  — wan-clusters with locality-biased targets + bridges
 //   wan-directional-churn — wan-directional with bridges crashing in turn
 //   semantic-streams — supersede-heavy streams with semantic purging
+//   chaos-soak       — mid-run corruption/duplication/reorder burst
+//   asymmetric-partition — one-way link failures under gossiped liveness
+//   gray-failure     — stalled + clock-skewed nodes that must not flap
 #pragma once
 
 #include <functional>
@@ -100,6 +103,9 @@ class ScenarioRegistry {
 ///   loss=p|burst:pgood:pbad:pgb:pbg
 ///   capacity=at_ms:frac:cap[,...]
 ///   failures=at_ms:node:up|down[,...]
+///   chaos=rule[,rule...] with rule = kind:args[@start[s]-end[s]], kinds:
+///     corrupt:p truncate:p dup:p reorder:p[:ms] oneway:a:b|* stall:node:ms
+///     skew:node:ms (window times in seconds, absolute — warmup included)
 ScenarioParams params_from_config(const Config& cfg, ScenarioParams base);
 
 /// A registry-driven parameter sweep: `axis:lo:hi:step`, where `axis` is
@@ -127,5 +133,13 @@ bool parse_capacity_spec(const std::string& spec,
                          std::vector<CapacityChange>* out);
 bool parse_failure_spec(const std::string& spec,
                         std::vector<FailureEvent>* out);
+bool parse_chaos_spec(const std::string& spec, fault::ChaosSchedule* out);
+
+/// The diagnostic params_from_config throws for a chaos spec
+/// parse_chaos_spec rejected: names the bad spec, suggests the nearest
+/// fault kind ("did you mean: corrupt?") for a misspelt one, and restates
+/// the rule grammar. Tools print it verbatim (exit 2), so a typo'd
+/// `chaos=corupt:0.1` is a correction, not a stack trace.
+std::string bad_chaos_spec_message(const std::string& spec);
 
 }  // namespace agb::core

@@ -1,6 +1,7 @@
 #include "core/wallclock_scenario.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -71,6 +72,7 @@ struct WallclockScenario::Impl {
   Rng master_rng;
 
   std::unique_ptr<runtime::InMemoryFabric> fabric;
+  std::unique_ptr<fault::FaultPlane> fault_plane;  // null on clean runs
   std::vector<std::unique_ptr<runtime::NodeRuntime>> runtimes;
   TimeMs epoch = 0;  // fabric time when the run started
 
@@ -290,13 +292,53 @@ WallclockResults WallclockScenario::run() {
       fabric_params(im.params, im.options), fabric_seed);
   im.tracker = metrics::DeliveryTracker(im.params.n);
 
+  if (!im.params.chaos.empty()) {
+    // Rule windows are run-relative; the fabric clock is not. Shift every
+    // window by the fabric time at which the run is about to start (node
+    // construction between here and start() is sub-millisecond noise
+    // against windows hundreds of ms wide). Same seed derivation as the
+    // simulator path, so both planes inject identical decisions per seed.
+    fault::ChaosSchedule shifted = im.params.chaos;
+    const TimeMs epoch0 = im.fabric->now();
+    for (fault::FaultRule& rule : shifted.rules) {
+      rule.start += epoch0;
+      if (rule.end != fault::kNoEnd) rule.end += epoch0;
+    }
+    im.fault_plane = std::make_unique<fault::FaultPlane>(
+        std::move(shifted), fault::chaos_seed(im.params.seed));
+    im.fabric->set_fault_plane(im.fault_plane.get());
+  }
+
   const auto cluster_map = scenario_cluster_map(im.params);
   im.runtimes.reserve(im.params.n);
   for (std::size_t i = 0; i < im.params.n; ++i) {
     const auto id = static_cast<NodeId>(i);
+    runtime::NodeRuntime::Clock clock = [fabric = im.fabric.get()] {
+      return fabric->now();
+    };
+    if (im.fault_plane != nullptr) {
+      // Skewed round clock with a monotonic clamp: while a skew rule is
+      // live the node reads a clock `amount` ms ahead; when the window
+      // closes the raw reading would jump backward, so the clamp holds the
+      // node's clock at its high-water mark until real time catches up —
+      // clocks misbehave, but they never run backwards.
+      clock = [fabric = im.fabric.get(), plane = im.fault_plane.get(), id,
+               last = std::make_shared<std::atomic<TimeMs>>(0)] {
+        const TimeMs raw = fabric->now();
+        TimeMs t = raw + plane->clock_skew(id, raw);
+        TimeMs prev = last->load(std::memory_order_relaxed);
+        while (t > prev && !last->compare_exchange_weak(
+                               prev, t, std::memory_order_relaxed)) {
+        }
+        return std::max(t, prev);
+      };
+    }
     auto runtime = std::make_unique<runtime::NodeRuntime>(
         build_scenario_node(im.params, id, im.master_rng, cluster_map),
-        *im.fabric, [fabric = im.fabric.get()] { return fabric->now(); });
+        *im.fabric, std::move(clock));
+    if (im.fault_plane != nullptr) {
+      runtime->set_fault_plane(im.fault_plane.get());
+    }
     runtime->set_deliver_handler(
         [&im, id](const gossip::Event& e, TimeMs now) {
           std::lock_guard lock(im.tracker_mutex);
@@ -382,6 +424,7 @@ WallclockResults WallclockScenario::run() {
   results.output_rate = results.delivery.output_rate;
   results.fabric_dropped = im.fabric->dropped();
   results.fabric_dropped_down = im.fabric->dropped_down();
+  results.dropped_chaos = im.fabric->dropped_chaos();
   results.sent_intra_cluster = im.fabric->sent_intra_cluster();
   results.sent_cross_cluster = im.fabric->sent_cross_cluster();
   std::vector<std::size_t> depth_samples;
@@ -392,6 +435,12 @@ WallclockResults WallclockScenario::run() {
     const auto counters = runtime->counters();
     results.overflow_drops += counters.drops_overflow;
     results.age_limit_drops += counters.drops_age_limit;
+    results.decode_drops += runtime->decode_drops();
+    if (const auto* gm = runtime->gossip_membership()) {
+      results.membership_transitions.suspicions += gm->counters().suspicions;
+      results.membership_transitions.downs += gm->counters().downs;
+      results.membership_transitions.revivals += gm->counters().revivals;
+    }
     results.membership_sizes.push_back(runtime->membership_size());
     results.max_pending_depth =
         std::max(results.max_pending_depth, runtime->max_pending_depth());
@@ -427,6 +476,14 @@ WallclockResults WallclockScenario::run() {
   }
   for (std::size_t s = 0; s < im.fabric->shard_count(); ++s) {
     results.shard_depths.push_back(im.fabric->max_queue_depth(s));
+  }
+  if (im.fault_plane != nullptr) {
+    results.chaos = im.fault_plane->stats();
+    if (const auto window = chaos_recovery_window(im.params)) {
+      std::lock_guard lock(im.tracker_mutex);
+      results.post_chaos_delivery =
+          im.tracker.report(window->first, window->second);
+    }
   }
   return results;
 }

@@ -82,6 +82,18 @@ struct WallclockResults {
   /// Post-run state per node / per shard.
   std::vector<std::size_t> membership_sizes;
   std::vector<std::size_t> shard_depths;
+
+  /// Fault-plane receipts, the wall-clock twins of ScenarioResults' chaos
+  /// fields (all zero / absent on clean runs): what was injected, malformed
+  /// datagrams dropped at decode across every runtime, one-way chaos drops
+  /// at the fabric, group-wide membership liveness transitions, and the
+  /// post-fault recovery report over the same window rules as the
+  /// simulator path.
+  fault::FaultStats chaos;
+  std::uint64_t decode_drops = 0;
+  std::uint64_t dropped_chaos = 0;
+  membership::MembershipCounters membership_transitions;
+  std::optional<metrics::DeliveryReport> post_chaos_delivery;
 };
 
 class WallclockScenario {

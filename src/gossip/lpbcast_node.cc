@@ -285,6 +285,9 @@ bool LpbcastNode::on_wire(const WireMessage& message, TimeMs now) {
     on_repair_reply(*reply, now);
     return true;
   }
+  // std::monostate: the datagram did not survive decoding. Count it — a
+  // corrupted wire must be observable, not silently discarded.
+  ++counters_.decode_drops;
   return false;
 }
 

@@ -58,6 +58,10 @@ struct NodeCounters {
   std::uint64_t repair_replies = 0;     // reply messages sent
   std::uint64_t events_recovered = 0;   // deliveries that came via repair
   std::uint64_t missing_abandoned = 0;  // gave up waiting
+
+  /// Malformed wire input handed to on_wire (std::monostate after decode).
+  /// Zero in clean runs; rises under fault-plane corruption.
+  std::uint64_t decode_drops = 0;
 };
 
 class LpbcastNode {

@@ -51,6 +51,23 @@ GossipMembership::GossipMembership(NodeId self, GossipMembershipParams params,
 
 std::vector<NodeId> GossipMembership::targets(std::size_t fanout) {
   std::vector<NodeId> live = snapshot();
+  if (live.empty()) {
+    // Total isolation: every peer timed out while we could not be heard
+    // (an asymmetric partition mutes our outbound; by the time it heals,
+    // our own silence clocks have condemned the whole group). Going quiet
+    // now would make the exclusion permanent — nobody gossips to a
+    // suspect, so nobody would ever carry our revision-bumped self record
+    // back out. Keep probing the suspects instead (or, with only
+    // tombstones left, the tombstones): one delivered digest restarts the
+    // exchange and the group revives us from its fresher records.
+    for (const auto& [node, entry] : peers_) {
+      if (entry.record.state == LivenessState::kSuspect) live.push_back(node);
+    }
+    if (live.empty()) {
+      for (const auto& [node, entry] : peers_) live.push_back(node);
+    }
+    std::sort(live.begin(), live.end());
+  }
   if (live.size() <= fanout) return live;
   std::vector<NodeId> out;
   out.reserve(fanout);
@@ -127,11 +144,13 @@ void GossipMembership::tick(TimeMs now) {
       case LivenessState::kUp:
         if (silent >= params_.suspect_after) {
           entry.record.state = LivenessState::kSuspect;
+          ++counters_.suspicions;
         }
         break;
       case LivenessState::kSuspect:
         if (silent >= params_.down_after) {
           entry.record.state = LivenessState::kDown;
+          ++counters_.downs;
         }
         break;
       case LivenessState::kDown:
@@ -184,6 +203,10 @@ void GossipMembership::merge_record(const MemberRecord& incoming,
   PeerEntry& entry = it->second;
   if (!inserted && !fresher_than(incoming, entry.record)) return;
 
+  if (!inserted && entry.record.state != LivenessState::kUp &&
+      incoming.state == LivenessState::kUp) {
+    ++counters_.revivals;  // fresher record retracts a suspicion/tombstone
+  }
   const EndpointBinding previous = entry.record.binding;
   entry.record = incoming;
   // An unbound record must not erase a known address: binding knowledge is
@@ -218,6 +241,7 @@ void GossipMembership::on_heard_from(NodeId sender, TimeMs now) {
   // stays until the sender's own (revision-bumped) record revives it.
   if (entry.record.state == LivenessState::kSuspect) {
     entry.record.state = LivenessState::kUp;
+    ++counters_.revivals;
   }
 }
 

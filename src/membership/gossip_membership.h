@@ -103,6 +103,17 @@ struct GossipMembershipParams {
   std::uint64_t initial_revision = 0;
 };
 
+/// Lifetime liveness-transition tally for one membership instance. The
+/// flap detector for fault-injection runs: a gray failure (node slow but
+/// up) must leave `downs` at zero, an asymmetric partition must push
+/// `suspicions` above it, and `revivals` counts suspicions retracted by
+/// later evidence (datagram in hand or a fresher record).
+struct MembershipCounters {
+  std::uint64_t suspicions = 0;  // up → suspect promotions (local timeouts)
+  std::uint64_t downs = 0;       // suspect → down promotions (local timeouts)
+  std::uint64_t revivals = 0;    // suspect/down → up via fresher evidence
+};
+
 class GossipMembership final : public Membership {
  public:
   /// Fires when a merge learns a new (or changed) bound endpoint for a
@@ -169,6 +180,11 @@ class GossipMembership final : public Membership {
   /// Every record held (peers only, self excluded), sorted by node id —
   /// the object the permutation-convergence property compares.
   [[nodiscard]] std::vector<MemberRecord> table() const;
+  /// Liveness transitions this instance has performed (see
+  /// MembershipCounters). Chaos invariants read this after a run.
+  [[nodiscard]] const MembershipCounters& counters() const noexcept {
+    return counters_;
+  }
 
  private:
   struct PeerEntry {
@@ -187,6 +203,7 @@ class GossipMembership final : public Membership {
   TimeMs now_ = 0;  // last time seen by tick/apply_digest/on_heard_from
   bool ticked_ = false;  // first tick baselines seed peers' silence clocks
   BindingListener binding_listener_;
+  MembershipCounters counters_;
 };
 
 }  // namespace agb::membership

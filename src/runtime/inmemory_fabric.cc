@@ -169,6 +169,40 @@ void InMemoryFabric::send_batch(Multicast batch) {
            std::binary_search(down_snapshot.begin(), down_snapshot.end(), to);
   };
 
+  // Fault-plane pre-pass, outside any shard lock: peel off targets whose
+  // datagram cannot ride the shared fast path (mutated payload, duplicate
+  // copies, reorder delay) and enqueue them separately below. Clean runs
+  // (null plane) skip this entirely — no extra draws, no copies.
+  struct SpecialSend {
+    NodeId to;
+    DurationMs extra_delay;
+    SharedBytes payload;
+  };
+  std::vector<SpecialSend> specials;
+  if (fault_plane_) {
+    const TimeMs stamp = now();
+    std::size_t kept = 0;
+    for (NodeId to : batch.targets) {
+      const fault::FaultAction action =
+          fault_plane_->sample(batch.from, to, stamp);
+      if (action.drop) {
+        dropped_chaos_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (action.special()) {
+        SharedBytes payload = (action.corrupt || action.truncate)
+                                  ? fault_plane_->mutate(batch.payload, action)
+                                  : batch.payload;
+        for (int copy = 0; copy <= action.duplicates; ++copy) {
+          specials.push_back(SpecialSend{to, action.extra_delay, payload});
+        }
+        continue;
+      }
+      batch.targets[kept++] = to;
+    }
+    batch.targets.resize(kept);
+  }
+
   // Split the fan-out per shard in ONE pass over the targets, outside any
   // lock. The scratch sublists are thread-local so a steady-state sender
   // allocates nothing here.
@@ -250,6 +284,36 @@ void InMemoryFabric::send_batch(Multicast batch) {
       notify = queued && shard.waiting;
     }
     if (notify) shard.cv.notify_one();  // one wakeup per touched shard
+  }
+
+  // Fault-plane specials: each rides the delay queue as its own entry (the
+  // delayed path is live even on a zero-delay fabric — the dispatcher
+  // drains both queues), with the sampled link delay plus any reorder
+  // delay, carrying its own (possibly mutated) payload.
+  for (SpecialSend& special : specials) {
+    if (target_down(special.to)) {
+      dropped_down_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Shard& shard = shard_of(special.to);
+    bool notify = false;
+    {
+      std::lock_guard lock(shard.mutex);
+      send_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      if (shard.stopping) continue;
+      if (has_loss_ && loss_drop(shard)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const DurationMs delay =
+          zero_delay_ ? 0 : sampler_.sample(batch.from, special.to, shard.rng);
+      shard.delayed.emplace(
+          now() + delay + special.extra_delay,
+          Datagram{batch.from, special.to, std::move(special.payload)});
+      if (shard.depth() > shard.max_depth) shard.max_depth = shard.depth();
+      notify = shard.waiting;
+    }
+    if (notify) shard.cv.notify_one();
   }
 }
 

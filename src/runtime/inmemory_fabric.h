@@ -40,6 +40,7 @@
 #include "common/datagram.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault_plane.h"
 #include "sim/delay_sampler.h"
 
 namespace agb::runtime {
@@ -119,6 +120,14 @@ class InMemoryFabric final : public DatagramNetwork {
   void set_node_up(NodeId node, bool up);
   [[nodiscard]] bool node_up(NodeId node) const;
 
+  /// Fault injection (non-owning; may be null = clean run), the wall-clock
+  /// twin of sim::SimNetwork::set_fault_plane. Clean runs take the exact
+  /// pre-fault path: no extra RNG draws, no payload copies. Set before
+  /// traffic starts; the plane must outlive the fabric's send activity.
+  void set_fault_plane(fault::FaultPlane* plane) noexcept {
+    fault_plane_ = plane;
+  }
+
   /// Milliseconds since the fabric was created (the runtime's clock).
   [[nodiscard]] TimeMs now() const;
 
@@ -134,6 +143,13 @@ class InMemoryFabric final : public DatagramNetwork {
   /// loss — the counter scenario churn conformance asserts on.
   [[nodiscard]] std::uint64_t dropped_down() const {
     return dropped_down_.load(std::memory_order_relaxed);
+  }
+
+  /// Datagrams suppressed by a fault-plane one-way partition rule — the
+  /// asymmetric counterpart of dropped_down() (the reverse direction keeps
+  /// flowing).
+  [[nodiscard]] std::uint64_t dropped_chaos() const {
+    return dropped_chaos_.load(std::memory_order_relaxed);
   }
 
   /// The `sent` split of sim::NetworkStats, counted per addressed target
@@ -261,9 +277,11 @@ class InMemoryFabric final : public DatagramNetwork {
   mutable std::mutex down_mutex_;
   std::set<NodeId> down_;
   std::atomic<std::size_t> down_count_{0};
+  fault::FaultPlane* fault_plane_ = nullptr;
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> dropped_down_{0};
+  std::atomic<std::uint64_t> dropped_chaos_{0};
   std::atomic<std::uint64_t> sent_intra_cluster_{0};
   std::atomic<std::uint64_t> sent_cross_cluster_{0};
   std::atomic<std::uint64_t> send_lock_acquisitions_{0};

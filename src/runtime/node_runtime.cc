@@ -1,6 +1,8 @@
 #include "runtime/node_runtime.h"
 
 #include <chrono>
+#include <thread>
+#include <variant>
 
 namespace agb::runtime {
 
@@ -101,13 +103,30 @@ void NodeRuntime::drain_pending_locked() {
 
 void NodeRuntime::on_datagram_batch(const Datagram* batch, std::size_t count,
                                     TimeMs now) {
+  // Injected gray failure: a stall rule sleeps the receive path here — the
+  // node is slow-but-up (its round thread keeps sending on cadence), which
+  // is exactly the failure mode membership suspicion must ride out.
+  if (fault_plane_ != nullptr) {
+    const DurationMs stall = fault_plane_->stall_for(node_->id(), now);
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
+  }
   // Decode outside the state lock — the codec needs no node state — then
-  // feed the whole burst through under ONE lock acquisition.
+  // feed the whole burst through under ONE lock acquisition. Malformed
+  // datagrams (corruption on the wire) are counted and dropped here, never
+  // fed to the node.
   std::vector<gossip::WireMessage> messages;
   messages.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    messages.push_back(gossip::decode_any(batch[i].payload));
+    gossip::WireMessage message = gossip::decode_any(batch[i].payload);
+    if (std::holds_alternative<std::monostate>(message)) {
+      decode_drops_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    messages.push_back(std::move(message));
   }
+  if (messages.empty()) return;
   std::vector<gossip::LpbcastNode::ControlDatagram> controls;
   const NodeId self = node_->id();
   {

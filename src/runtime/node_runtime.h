@@ -20,6 +20,7 @@
 
 #include "adaptive/adaptive_node.h"
 #include "common/datagram.h"
+#include "fault/fault_plane.h"
 #include "gossip/lpbcast_node.h"
 
 namespace agb::runtime {
@@ -70,6 +71,20 @@ class NodeRuntime {
   /// Pending-queue bound for enqueue_broadcast (the simulator's
   /// ScenarioParams::pending_cap twin). Call before start().
   void set_pending_cap(std::size_t cap);
+
+  /// Gray-failure injection (non-owning; may be null): stall rules sleep
+  /// the receive path before each burst, making this node slow-but-up —
+  /// its round thread keeps gossiping, so membership must not flap. Call
+  /// before start().
+  void set_fault_plane(fault::FaultPlane* plane) noexcept {
+    fault_plane_ = plane;
+  }
+
+  /// Malformed datagrams dropped at decode (std::monostate from
+  /// decode_any). Zero in clean runs; rises under chaos corruption.
+  [[nodiscard]] std::uint64_t decode_drops() const {
+    return decode_drops_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] NodeId id() const { return node_->id(); }
   [[nodiscard]] bool adaptive() const { return adaptive_ != nullptr; }
@@ -135,6 +150,8 @@ class NodeRuntime {
   adaptive::AdaptiveLpbcastNode* adaptive_;  // non-owning downcast
   DatagramNetwork& network_;
   Clock clock_;
+  fault::FaultPlane* fault_plane_ = nullptr;
+  std::atomic<std::uint64_t> decode_drops_{0};
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

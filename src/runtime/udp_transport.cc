@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace agb::runtime {
@@ -200,6 +202,23 @@ void UdpTransport::detach(NodeId node) {
   // Destructor closes the socket and joins the thread outside the lock.
 }
 
+namespace {
+
+/// Transient kernel pushback worth retrying with backoff; anything else
+/// (EMSGSIZE, ENETUNREACH, ...) is a real per-message failure.
+bool retryable_send_errno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK ||
+         err == ENOBUFS;
+}
+
+constexpr int kMaxSendRetries = 4;  // 100us, 200us, 400us, 800us
+
+void send_backoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::microseconds(50 << attempt));
+}
+
+}  // namespace
+
 void UdpTransport::send_batch(Multicast batch) {
   if (batch.targets.empty()) return;
   int fd = -1;
@@ -213,39 +232,63 @@ void UdpTransport::send_batch(Multicast batch) {
     fd = it->second->fd;
   }
 
-  // Scatter-gather descriptor shared by every per-target message: the
-  // 4-byte sender prefix and the SharedBytes payload go out as one datagram
-  // per target without ever assembling a contiguous copy.
-  NodeId from = batch.from;
-  iovec iov[2];
-  iov[0].iov_base = &from;
-  iov[0].iov_len = 4;
-  iov[1].iov_base = const_cast<std::uint8_t*>(batch.payload.data());
-  iov[1].iov_len = batch.payload.size();
-  const std::size_t iovlen = batch.payload.empty() ? 1 : 2;
-
-  std::vector<sockaddr_in> addrs;
-  addrs.reserve(batch.targets.size());
+  // Per-message plan: resolved address plus the payload this copy carries.
+  // On the clean path every copy aliases the batch payload (refcount bump,
+  // no byte copy); the fault plane may substitute a privately mutated
+  // buffer, add duplicate copies, or push a "reordered" copy behind the
+  // rest of its batch (real time offers no delay queue to borrow).
+  struct Planned {
+    sockaddr_in addr;
+    SharedBytes payload;
+  };
+  std::vector<Planned> plan;
+  plan.reserve(batch.targets.size());
+  std::vector<Planned> deferred;  // reorder: sent after everything else
+  const TimeMs stamp = fault_plane_ ? now() : 0;
   for (NodeId to : batch.targets) {
     UdpEndpoint endpoint{};
     if (!directory_->resolve(to, &endpoint)) {
       send_failures_.fetch_add(1);
       continue;
     }
-    addrs.push_back(to_sockaddr(endpoint));
+    fault::FaultAction action;
+    if (fault_plane_) action = fault_plane_->sample(batch.from, to, stamp);
+    if (action.drop) continue;  // one-way partition: never hits the wire
+    SharedBytes payload = (action.corrupt || action.truncate)
+                              ? fault_plane_->mutate(batch.payload, action)
+                              : batch.payload;
+    auto& bucket = action.extra_delay > 0 ? deferred : plan;
+    for (int copy = 0; copy <= action.duplicates; ++copy) {
+      bucket.push_back(Planned{to_sockaddr(endpoint), payload});
+    }
   }
-  if (addrs.empty()) return;
+  for (auto& late : deferred) plan.push_back(std::move(late));
+  if (plan.empty()) return;
+
+  // Scatter-gather descriptors: the shared 4-byte sender prefix plus each
+  // message's payload — a contiguous copy is never assembled. Built after
+  // `plan` is final so the iovec pointers stay stable.
+  NodeId from = batch.from;
+  std::vector<iovec> iovs(plan.size() * 2);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    iovs[2 * i].iov_base = &from;
+    iovs[2 * i].iov_len = 4;
+    iovs[2 * i + 1].iov_base =
+        const_cast<std::uint8_t*>(plan[i].payload.data());
+    iovs[2 * i + 1].iov_len = plan[i].payload.size();
+  }
 
 #if defined(__linux__)
-  std::vector<mmsghdr> msgs(addrs.size());
-  for (std::size_t i = 0; i < addrs.size(); ++i) {
+  std::vector<mmsghdr> msgs(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
     msgs[i] = mmsghdr{};
-    msgs[i].msg_hdr.msg_name = &addrs[i];
-    msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
-    msgs[i].msg_hdr.msg_iov = iov;
-    msgs[i].msg_hdr.msg_iovlen = iovlen;
+    msgs[i].msg_hdr.msg_name = &plan[i].addr;
+    msgs[i].msg_hdr.msg_namelen = sizeof(plan[i].addr);
+    msgs[i].msg_hdr.msg_iov = &iovs[2 * i];
+    msgs[i].msg_hdr.msg_iovlen = plan[i].payload.empty() ? 1 : 2;
   }
   std::size_t done = 0;
+  int attempts = 0;
   while (done < msgs.size()) {
     const int sent =
         ::sendmmsg(fd, msgs.data() + done,
@@ -253,14 +296,25 @@ void UdpTransport::send_batch(Multicast batch) {
     send_syscalls_.fetch_add(1);
     if (sent < 0) {
       if (errno == ENOSYS) break;  // ancient kernel: sendmsg loop below
-      // Per-target error semantics, exactly like a sendmsg loop: one
-      // failing target costs one failure, the rest of the batch still
-      // goes out.
+      // Transient pushback (EINTR/EAGAIN/ENOBUFS): back off briefly and
+      // retry from the same message instead of dropping it.
+      if (retryable_send_errno(errno) && attempts < kMaxSendRetries) {
+        send_retries_.fetch_add(1);
+        send_backoff(attempts++);
+        continue;
+      }
+      // A real failure poisons only the head message: count it, skip it,
+      // and keep sending the rest of the batch.
+      send_errors_.fetch_add(1);
       send_failures_.fetch_add(1);
       ++done;
+      attempts = 0;
       continue;
     }
+    // Partial completion is normal (the kernel sent `sent` of them):
+    // resume from the first unsent message, never dropping the tail.
     done += static_cast<std::size_t>(sent);
+    attempts = 0;
   }
   if (done >= msgs.size()) return;
 #else
@@ -268,14 +322,25 @@ void UdpTransport::send_batch(Multicast batch) {
 #endif
 
   // Portable per-target path: fallback for non-Linux builds and ENOSYS.
-  for (std::size_t i = done; i < addrs.size(); ++i) {
+  for (std::size_t i = done; i < plan.size(); ++i) {
     msghdr msg{};
-    msg.msg_name = &addrs[i];
-    msg.msg_namelen = sizeof(addrs[i]);
-    msg.msg_iov = iov;
-    msg.msg_iovlen = iovlen;
-    send_syscalls_.fetch_add(1);
-    if (::sendmsg(fd, &msg, 0) < 0) send_failures_.fetch_add(1);
+    msg.msg_name = &plan[i].addr;
+    msg.msg_namelen = sizeof(plan[i].addr);
+    msg.msg_iov = &iovs[2 * i];
+    msg.msg_iovlen = plan[i].payload.empty() ? 1 : 2;
+    int attempts = 0;
+    while (true) {
+      send_syscalls_.fetch_add(1);
+      if (::sendmsg(fd, &msg, 0) >= 0) break;
+      if (retryable_send_errno(errno) && attempts < kMaxSendRetries) {
+        send_retries_.fetch_add(1);
+        send_backoff(attempts++);
+        continue;
+      }
+      send_errors_.fetch_add(1);
+      send_failures_.fetch_add(1);
+      break;
+    }
   }
 }
 

@@ -30,6 +30,7 @@
 
 #include "common/datagram.h"
 #include "common/types.h"
+#include "fault/fault_plane.h"
 #include "runtime/endpoint_directory.h"
 
 namespace agb::runtime {
@@ -71,9 +72,32 @@ class UdpTransport final : public DatagramNetwork {
   /// out.
   void send_batch(Multicast batch) override;
 
+  /// Fault injection (non-owning; may be null = clean run), consulted per
+  /// target at the send_batch choke point like the other two fabrics.
+  /// One-way rules drop before the syscall; corruption mutates a private
+  /// copy of the payload; duplicates add messages; reorder moves a message
+  /// behind the rest of its batch (real time offers no delay queue).
+  void set_fault_plane(fault::FaultPlane* plane) noexcept {
+    fault_plane_ = plane;
+  }
+
   [[nodiscard]] TimeMs now() const;
   [[nodiscard]] std::uint64_t send_failures() const {
     return send_failures_.load();
+  }
+
+  /// Errno-level send syscall failures (after bounded retries) — a subset
+  /// of send_failures(), which also counts unresolvable targets. Pinned by
+  /// test via an EMSGSIZE-sized payload.
+  [[nodiscard]] std::uint64_t send_errors() const {
+    return send_errors_.load();
+  }
+
+  /// Transient-error retries taken by the send path (EINTR / EAGAIN /
+  /// ENOBUFS, each retried with bounded exponential backoff before the
+  /// message is counted as failed).
+  [[nodiscard]] std::uint64_t send_retries() const {
+    return send_retries_.load();
   }
 
   /// Kernel round-trips taken by the send path (sendmmsg/sendmsg calls).
@@ -100,7 +124,10 @@ class UdpTransport final : public DatagramNetwork {
   std::chrono::steady_clock::time_point epoch_;
   std::mutex mutex_;
   std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  fault::FaultPlane* fault_plane_ = nullptr;
   std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> send_errors_{0};
+  std::atomic<std::uint64_t> send_retries_{0};
   std::atomic<std::uint64_t> send_syscalls_{0};
   std::atomic<std::uint64_t> recv_syscalls_{0};
 };

@@ -51,6 +51,15 @@ void SimNetwork::send_batch(Multicast batch) {
     std::vector<NodeId> targets;
   };
   std::vector<DelayGroup> groups;
+  // Fault-plane specials (mutated payload, duplicates, reorder delay) each
+  // ride their own event: they cannot share the batch payload or a group's
+  // common delay. Clean runs never touch this path.
+  struct SpecialDelivery {
+    DurationMs delay;
+    NodeId to;
+    SharedBytes payload;
+  };
+  std::vector<SpecialDelivery> specials;
   for (NodeId to : batch.targets) {
     // The intra/cross split mirrors `sent`: counted per addressed target,
     // before any drop, so the WAN-traffic share reflects what the sender
@@ -69,9 +78,25 @@ void SimNetwork::send_batch(Multicast batch) {
       ++stats_.dropped_loss;
       continue;
     }
+    fault::FaultAction action;
+    if (fault_plane_) action = fault_plane_->sample(batch.from, to, sim_.now());
+    if (action.drop) {
+      ++stats_.dropped_chaos;
+      continue;
+    }
     // Latency selection (inside the sampler): explicit per-link override >
     // cluster rule > default.
     const DurationMs delay = sampler_.sample(batch.from, to, rng_);
+    if (action.special()) {
+      SharedBytes payload = (action.corrupt || action.truncate)
+                                ? fault_plane_->mutate(batch.payload, action)
+                                : batch.payload;
+      for (int copy = 0; copy <= action.duplicates; ++copy) {
+        specials.push_back(
+            SpecialDelivery{delay + action.extra_delay, to, payload});
+      }
+      continue;
+    }
     auto group = std::find_if(groups.begin(), groups.end(),
                               [delay](const DelayGroup& g) {
                                 return g.delay == delay;
@@ -105,6 +130,26 @@ void SimNetwork::send_batch(Multicast batch) {
         const Datagram d{from, to, payload};
         it->second(d, sim_.now());
       }
+    });
+  }
+
+  for (auto& special : specials) {
+    ++stats_.events_scheduled;
+    sim_.after(special.delay, [this, from = batch.from, to = special.to,
+                               payload = std::move(special.payload)]() {
+      if (down_.contains(to)) {
+        ++stats_.dropped_down;
+        return;
+      }
+      auto it = handlers_.find(to);
+      if (it == handlers_.end()) {
+        ++stats_.dropped_detached;
+        return;
+      }
+      ++stats_.delivered;
+      stats_.bytes_delivered += payload.size();
+      const Datagram d{from, to, payload};
+      it->second(d, sim_.now());
     });
   }
 }

@@ -16,6 +16,7 @@
 #include "common/datagram.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault_plane.h"
 #include "sim/delay_sampler.h"
 #include "sim/simulator.h"
 
@@ -84,6 +85,9 @@ struct NetworkStats {
   std::uint64_t dropped_partition = 0;
   std::uint64_t dropped_down = 0;
   std::uint64_t dropped_detached = 0;
+  /// Dropped by a fault-plane one-way partition rule (asymmetric: the
+  /// reverse direction keeps flowing, unlike `dropped_partition`).
+  std::uint64_t dropped_chaos = 0;
   std::uint64_t bytes_delivered = 0;
 };
 
@@ -116,6 +120,13 @@ class SimNetwork final : public DatagramNetwork {
   void set_link_latency(NodeId a, NodeId b, LatencyModel model);
   void clear_link_latencies();
 
+  /// Fault injection (non-owning; may be null = clean run). A clean run
+  /// takes the exact pre-fault code path — no extra RNG draws — so seeded
+  /// traces and golden fingerprints are unchanged.
+  void set_fault_plane(fault::FaultPlane* plane) noexcept {
+    fault_plane_ = plane;
+  }
+
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] const DelaySampler& delay_sampler() const noexcept {
@@ -135,6 +146,7 @@ class SimNetwork final : public DatagramNetwork {
   std::set<NodeId> down_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
   bool burst_bad_ = false;
+  fault::FaultPlane* fault_plane_ = nullptr;
   NetworkStats stats_;
 };
 

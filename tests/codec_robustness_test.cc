@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/shared_bytes.h"
+#include "fault/fault_plane.h"
 #include "gossip/message.h"
 
 namespace agb::gossip {
@@ -186,6 +188,42 @@ TEST(CodecRobustnessTest, RandomByteFlipsNeverThrow) {
       bytes[pos] = static_cast<std::uint8_t>(rng.next_below(256));
     }
     EXPECT_NO_THROW({ auto result = decode_any(bytes); (void)result; });
+  }
+}
+
+// The live-bytes regression corpus: run real encoded frames through the
+// fault plane's own mutator — the exact corruption/truncation live chaos
+// runs inject at the send_batch choke point — and decode every product.
+// This is the same code path scenario chaos-soak exercises end-to-end,
+// distilled to a deterministic ASan/UBSan-friendly sweep, plus a replay of
+// the plane's bounded corpus() sample.
+TEST(CodecRobustnessTest, ChaosMutatedFramesNeverThrow) {
+  fault::ChaosSchedule schedule;
+  schedule.rules = {
+      {fault::FaultKind::kCorrupt, 1.0, fault::kAnyNode, fault::kAnyNode, 0,
+       0, fault::kNoEnd},
+      {fault::FaultKind::kTruncate, 0.5, fault::kAnyNode, fault::kAnyNode, 0,
+       0, fault::kNoEnd},
+  };
+  fault::FaultPlane plane(schedule, fault::chaos_seed(2026));
+  const std::vector<SharedBytes> frames = {
+      SharedBytes(rich_message().encode()),
+      SharedBytes(rich_request().encode()),
+      SharedBytes(rich_reply().encode()),
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto& frame = frames[static_cast<std::size_t>(trial) % frames.size()];
+    const fault::FaultAction action = plane.sample(0, 1, 0);
+    ASSERT_TRUE(action.corrupt);  // rate 1.0: every frame gets mutated
+    const SharedBytes mutated = plane.mutate(frame, action);
+    EXPECT_NO_THROW({ auto result = decode_any(mutated); (void)result; });
+  }
+  // Replay the plane's retained corpus sample — the exact bytes a live
+  // chaos run would hand to this suite.
+  const auto corpus = plane.corpus();
+  ASSERT_FALSE(corpus.empty());
+  for (const auto& entry : corpus) {
+    EXPECT_NO_THROW({ auto result = decode_any(entry); (void)result; });
   }
 }
 

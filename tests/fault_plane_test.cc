@@ -1,0 +1,204 @@
+// fault::FaultPlane unit contract: the determinism, window-gating and
+// copy-then-mutate guarantees every fabric relies on. The end-to-end
+// behaviour (faults flowing through SimNetwork / InMemoryFabric /
+// UdpTransport into live decoders) is pinned by scenario_parity_test and
+// runtime_test; this suite pins the plane itself.
+#include "fault/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/shared_bytes.h"
+
+namespace agb::fault {
+namespace {
+
+ChaosSchedule probability_schedule(double rate, TimeMs start = 0,
+                                   TimeMs end = kNoEnd) {
+  ChaosSchedule s;
+  s.rules = {
+      {FaultKind::kCorrupt, rate, kAnyNode, kAnyNode, 0, start, end},
+      {FaultKind::kTruncate, rate, kAnyNode, kAnyNode, 0, start, end},
+      {FaultKind::kDuplicate, rate, kAnyNode, kAnyNode, 0, start, end},
+      {FaultKind::kReorder, rate, kAnyNode, kAnyNode, 20, start, end},
+  };
+  return s;
+}
+
+TEST(FaultPlaneTest, SameSeedSameVerdictSequence) {
+  // The seed-determinism contract behind golden-trace reproducibility: two
+  // planes built from the same schedule and seed answer every sample()
+  // identically, draw for draw.
+  FaultPlane a(probability_schedule(0.3), chaos_seed(42));
+  FaultPlane b(probability_schedule(0.3), chaos_seed(42));
+  for (int i = 0; i < 500; ++i) {
+    const NodeId from = static_cast<NodeId>(i % 7);
+    const NodeId to = static_cast<NodeId>((i * 3) % 11);
+    const TimeMs now = static_cast<TimeMs>(i * 5);
+    const FaultAction va = a.sample(from, to, now);
+    const FaultAction vb = b.sample(from, to, now);
+    EXPECT_EQ(va.drop, vb.drop);
+    EXPECT_EQ(va.corrupt, vb.corrupt);
+    EXPECT_EQ(va.truncate, vb.truncate);
+    EXPECT_EQ(va.duplicates, vb.duplicates);
+    EXPECT_EQ(va.extra_delay, vb.extra_delay);
+  }
+  const FaultStats sa = a.stats();
+  const FaultStats sb = b.stats();
+  EXPECT_EQ(sa.corrupted, sb.corrupted);
+  EXPECT_EQ(sa.truncated, sb.truncated);
+  EXPECT_EQ(sa.duplicated, sb.duplicated);
+  EXPECT_EQ(sa.reordered, sb.reordered);
+  // At rate 0.3 over 500 datagrams every probability kind must have fired.
+  EXPECT_GT(sa.corrupted, 0u);
+  EXPECT_GT(sa.truncated, 0u);
+  EXPECT_GT(sa.duplicated, 0u);
+  EXPECT_GT(sa.reordered, 0u);
+}
+
+TEST(FaultPlaneTest, DifferentSeedsDiverge) {
+  FaultPlane a(probability_schedule(0.5), chaos_seed(1));
+  FaultPlane b(probability_schedule(0.5), chaos_seed(2));
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    const FaultAction va = a.sample(0, 1, 0);
+    const FaultAction vb = b.sample(0, 1, 0);
+    if (va.corrupt != vb.corrupt || va.truncate != vb.truncate ||
+        va.duplicates != vb.duplicates || va.extra_delay != vb.extra_delay) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultPlaneTest, RulesAreLiveOnlyInsideTheirWindow) {
+  // Window semantics are half-open: live for now ∈ [start, end).
+  FaultPlane plane(probability_schedule(1.0, 100, 200), 7);
+  for (const TimeMs quiet : {TimeMs{0}, TimeMs{99}, TimeMs{200}, TimeMs{500}}) {
+    const FaultAction action = plane.sample(0, 1, quiet);
+    EXPECT_FALSE(action.special()) << "at t=" << quiet;
+  }
+  for (const TimeMs live : {TimeMs{100}, TimeMs{150}, TimeMs{199}}) {
+    const FaultAction action = plane.sample(0, 1, live);
+    // Every probability rule fires at rate 1.0.
+    EXPECT_TRUE(action.corrupt) << "at t=" << live;
+    EXPECT_TRUE(action.truncate) << "at t=" << live;
+    EXPECT_EQ(action.duplicates, 1) << "at t=" << live;
+    EXPECT_GE(action.extra_delay, 1) << "at t=" << live;
+    EXPECT_LE(action.extra_delay, 20) << "at t=" << live;
+  }
+}
+
+TEST(FaultPlaneTest, OneWayDropsMatchDirectionAndWildcard) {
+  ChaosSchedule s;
+  s.rules = {
+      // Node 3's whole outbound is dead; the reverse directions live.
+      {FaultKind::kOneWay, 0.0, 3, kAnyNode, 0, 0, kNoEnd},
+      // Exactly 1→2 is dead; 2→1 lives.
+      {FaultKind::kOneWay, 0.0, 1, 2, 0, 0, kNoEnd},
+  };
+  FaultPlane plane(s, 9);
+  EXPECT_TRUE(plane.sample(3, 0, 0).drop);
+  EXPECT_TRUE(plane.sample(3, 11, 0).drop);
+  EXPECT_FALSE(plane.sample(0, 3, 0).drop);  // asymmetric: B→A lives
+  EXPECT_TRUE(plane.sample(1, 2, 0).drop);
+  EXPECT_FALSE(plane.sample(2, 1, 0).drop);
+  EXPECT_FALSE(plane.sample(1, 5, 0).drop);  // pinned b: other targets live
+  EXPECT_EQ(plane.stats().dropped_oneway, 3u);
+}
+
+TEST(FaultPlaneTest, OneWayDropWinsOverEverySampledMutation) {
+  ChaosSchedule s = probability_schedule(1.0);
+  s.rules.push_back({FaultKind::kOneWay, 0.0, 0, kAnyNode, 0, 0, kNoEnd});
+  FaultPlane plane(s, 3);
+  const FaultAction action = plane.sample(0, 1, 0);
+  EXPECT_TRUE(action.drop);
+  // The datagram never leaves, so nothing else is observable or counted.
+  EXPECT_FALSE(action.corrupt);
+  EXPECT_FALSE(action.truncate);
+  EXPECT_EQ(action.duplicates, 0);
+  EXPECT_EQ(action.extra_delay, 0);
+  const FaultStats stats = plane.stats();
+  EXPECT_EQ(stats.dropped_oneway, 1u);
+  EXPECT_EQ(stats.corrupted, 0u);
+  EXPECT_EQ(stats.truncated, 0u);
+}
+
+TEST(FaultPlaneTest, MutateCopiesAndNeverTouchesTheOriginal) {
+  FaultPlane plane(probability_schedule(1.0), 5);
+  std::vector<std::uint8_t> original(64);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<std::uint8_t>(i);
+  }
+  const SharedBytes payload(original);
+
+  FaultAction corrupt_only;
+  corrupt_only.corrupt = true;
+  const SharedBytes corrupted = plane.mutate(payload, corrupt_only);
+  ASSERT_EQ(corrupted.size(), payload.size());
+  EXPECT_FALSE(corrupted == payload);  // some byte really flipped
+
+  FaultAction truncate_only;
+  truncate_only.truncate = true;
+  const SharedBytes truncated = plane.mutate(payload, truncate_only);
+  EXPECT_LT(truncated.size(), payload.size());
+
+  // The aliased original — shared across the rest of the fan-out — is
+  // byte-identical to what went in.
+  ASSERT_EQ(payload.size(), original.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), original.begin()));
+}
+
+TEST(FaultPlaneTest, CorpusIsBoundedAndReplaysMutations) {
+  FaultPlane plane(probability_schedule(1.0), 5);
+  const SharedBytes payload(std::vector<std::uint8_t>(32, 0xAB));
+  FaultAction action;
+  action.corrupt = true;
+  for (int i = 0; i < 200; ++i) plane.mutate(payload, action);
+  const auto corpus = plane.corpus();
+  EXPECT_EQ(corpus.size(), 64u);  // bounded, first-64 kept
+  for (const auto& entry : corpus) EXPECT_EQ(entry.size(), payload.size());
+}
+
+TEST(FaultPlaneTest, GrayProbesAreWindowedPerNode) {
+  ChaosSchedule s;
+  s.rules = {
+      {FaultKind::kStall, 0.0, 3, kAnyNode, 10, 100, 200},
+      {FaultKind::kSkew, 0.0, 5, kAnyNode, 80, 100, 200},
+  };
+  FaultPlane plane(s, 1);
+  EXPECT_EQ(plane.stall_for(3, 50), 0);
+  EXPECT_EQ(plane.stall_for(3, 150), 10);
+  EXPECT_EQ(plane.stall_for(4, 150), 0);  // other nodes unaffected
+  EXPECT_EQ(plane.stall_for(3, 200), 0);
+  EXPECT_EQ(plane.clock_skew(5, 150), 80);
+  EXPECT_EQ(plane.clock_skew(5, 99), 0);
+  EXPECT_EQ(plane.clock_skew(3, 150), 0);
+  const FaultStats stats = plane.stats();
+  EXPECT_EQ(stats.stalls, 1u);      // only the served stall counted
+  EXPECT_EQ(stats.skew_reads, 1u);  // only the skewed read counted
+}
+
+TEST(FaultPlaneTest, ScheduleSummariesDriveTheInvariantSelectors) {
+  ChaosSchedule clean;
+  EXPECT_TRUE(clean.empty());
+  EXPECT_EQ(clean.last_window_end(), 0);
+
+  ChaosSchedule s;
+  s.rules = {
+      {FaultKind::kCorrupt, 0.1, kAnyNode, kAnyNode, 0, 500, 900},
+      {FaultKind::kOneWay, 0.0, 1, 2, 0, 100, 700},
+      {FaultKind::kStall, 0.0, 3, kAnyNode, 5, 0, kNoEnd},
+  };
+  EXPECT_TRUE(s.corrupts());
+  EXPECT_TRUE(s.asymmetric());
+  EXPECT_TRUE(s.gray());
+  // Open-ended rules don't define a healing point; the latest bounded
+  // window does.
+  EXPECT_EQ(s.last_window_end(), 900);
+}
+
+}  // namespace
+}  // namespace agb::fault

@@ -171,6 +171,37 @@ TEST(GossipMembershipTest, SuspectIsDeclaredDownAtDownAfter) {
   EXPECT_EQ(m.state_of(1), LivenessState::kDown);
 }
 
+TEST(GossipMembershipTest, IsolationFallsBackToProbingSuspectsThenTombstones) {
+  // The asymmetric-partition escape hatch: with zero up peers, targets()
+  // must keep probing (suspects first, tombstones as a last resort) — a
+  // node that goes quiet just because it suspects everyone can never be
+  // revived, and the group deadlocks in mutual silence. snapshot()/size()
+  // keep reporting the honest up-count; only target selection gets the
+  // desperation fallback.
+  GossipMembership m(0, quick_params(), Rng(1));
+  m.add(1);
+  m.add(2);
+  m.tick(0);
+  m.tick(100);  // both suspect
+  ASSERT_EQ(m.size(), 0u);
+  auto probes = m.targets(4);
+  std::sort(probes.begin(), probes.end());
+  EXPECT_EQ(probes, (std::vector<NodeId>{1, 2}));
+
+  m.on_heard_from(1, 150);  // one revival: the fallback must stand down
+  EXPECT_EQ(m.targets(4), std::vector<NodeId>{1});
+
+  m.tick(400);  // 2: suspect → down; 1 silent since 150: up → suspect
+  ASSERT_EQ(m.state_of(1), LivenessState::kSuspect);
+  ASSERT_EQ(m.state_of(2), LivenessState::kDown);
+  EXPECT_EQ(m.targets(4), std::vector<NodeId>{1});  // suspects before tombs
+
+  m.tick(800);  // 1 down too: only tombstones left — probe them anyway
+  probes = m.targets(4);
+  std::sort(probes.begin(), probes.end());
+  EXPECT_EQ(probes, (std::vector<NodeId>{1, 2}));
+}
+
 TEST(GossipMembershipTest, HearingFromASuspectRevivesItButNotADownPeer) {
   GossipMembership m(0, quick_params(), Rng(1));
   m.add(1);

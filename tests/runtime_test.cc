@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "adaptive/adaptive_node.h"
+#include "fault/fault_plane.h"
 #include "membership/full_membership.h"
 #include "runtime/inmemory_fabric.h"
 #include "runtime/node_runtime.h"
@@ -579,6 +581,110 @@ TEST(UdpTransportTest, RecvBatchesDrainManyDatagramsPerSyscall) {
   transport.detach(0);
   transport.detach(1);
 #endif
+}
+
+TEST(UdpTransportTest, SendErrorCountersStayZeroOverCleanLoopback) {
+  UdpTransport transport(29'400);
+  std::atomic<int> received{0};
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.attach(1, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  for (int i = 0; i < 50; ++i) {
+    transport.send_batch(Multicast{0, {1}, {0x01, 0x02}});
+  }
+  EXPECT_TRUE(eventually([&] { return received.load() == 50; }));
+  EXPECT_EQ(transport.send_errors(), 0u);
+  transport.detach(0);
+  transport.detach(1);
+}
+
+TEST(UdpTransportTest, NonRetryableSendErrorIsCountedAndSkipped) {
+  // A payload past the UDP datagram limit earns EMSGSIZE from the kernel —
+  // a non-retryable errno, so the transport must count it in send_errors()
+  // and move on (no infinite retry loop), while the rest of the batch
+  // still flows.
+  UdpTransport transport(29'420);
+  std::atomic<int> received{0};
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.attach(1, [&](const Datagram&, TimeMs) { received.fetch_add(1); });
+  const SharedBytes oversize(std::vector<std::uint8_t>(70'000, 0xee));
+  transport.send_batch(Multicast{0, {1}, oversize});
+  transport.send_batch(Multicast{0, {1}, {0x42}});  // batch after the error
+  EXPECT_TRUE(eventually([&] { return received.load() == 1; }));
+  EXPECT_GE(transport.send_errors(), 1u);
+  EXPECT_GE(transport.send_failures(), 1u);
+  transport.detach(0);
+  transport.detach(1);
+}
+
+TEST(UdpTransportTest, ChaosCorruptionMutatesLiveDatagrams) {
+  // End-to-end over real sockets: with a corrupt-everything plane attached
+  // the bytes on the wire differ from the bytes handed to send_batch, and
+  // the original shared buffer is never touched.
+  fault::ChaosSchedule schedule;
+  schedule.rules = {{fault::FaultKind::kCorrupt, 1.0, fault::kAnyNode,
+                     fault::kAnyNode, 0, 0, fault::kNoEnd}};
+  fault::FaultPlane plane(schedule, 17);
+  UdpTransport transport(29'440);
+  transport.set_fault_plane(&plane);
+  std::mutex mu;
+  std::vector<std::vector<std::uint8_t>> seen;
+  transport.attach(0, [](const Datagram&, TimeMs) {});
+  transport.attach(1, [&](const Datagram& d, TimeMs) {
+    std::lock_guard lock(mu);
+    seen.emplace_back(d.payload.begin(), d.payload.end());
+  });
+  const std::vector<std::uint8_t> original(32, 0x00);
+  const SharedBytes payload(original);
+  for (int i = 0; i < 10; ++i) {
+    transport.send_batch(Multicast{0, {1}, payload});
+  }
+  EXPECT_TRUE(eventually([&] {
+    std::lock_guard lock(mu);
+    return seen.size() == 10u;
+  }));
+  EXPECT_EQ(plane.stats().corrupted, 10u);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), original.begin()));
+  std::lock_guard lock(mu);
+  for (const auto& bytes : seen) {
+    ASSERT_EQ(bytes.size(), original.size());
+    EXPECT_NE(bytes, original);  // some byte really flipped on the wire
+  }
+  transport.detach(0);
+  transport.detach(1);
+}
+
+TEST(InMemoryFabricTest, OneWayChaosDropsOnlyTheDeadDirection) {
+  fault::ChaosSchedule schedule;
+  schedule.rules = {{fault::FaultKind::kOneWay, 0.0, 0, 1, 0, 0,
+                     fault::kNoEnd}};
+  fault::FaultPlane plane(schedule, 3);
+  InMemoryFabric fabric({});
+  fabric.set_fault_plane(&plane);
+  std::atomic<int> at_one{0};
+  std::atomic<int> at_zero{0};
+  fabric.attach(0, [&](const Datagram&, TimeMs) { at_zero.fetch_add(1); });
+  fabric.attach(1, [&](const Datagram&, TimeMs) { at_one.fetch_add(1); });
+  for (int i = 0; i < 10; ++i) {
+    fabric.send_batch(Multicast{0, {1}, {0x01}});  // dead direction
+    fabric.send_batch(Multicast{1, {0}, {0x02}});  // reverse lives
+  }
+  EXPECT_TRUE(eventually([&] { return at_zero.load() == 10; }));
+  EXPECT_EQ(at_one.load(), 0);
+  EXPECT_EQ(fabric.dropped_chaos(), 10u);
+  EXPECT_EQ(plane.stats().dropped_oneway, 10u);
+  fabric.shutdown();
+}
+
+TEST(NodeRuntimeTest, DecodeDropsCountMalformedDatagramsOnly) {
+  InMemoryFabric fabric({});
+  NodeRuntime runtime(make_protocol_node(1, 2, false), fabric,
+                      [&fabric] { return fabric.now(); });
+  runtime.start();
+  EXPECT_EQ(runtime.decode_drops(), 0u);
+  // Garbage that can never decode: wrong magic, three bytes.
+  for (int i = 0; i < 5; ++i) fabric.send(Datagram{0, 1, {0x01, 0x02, 0x03}});
+  EXPECT_TRUE(eventually([&] { return runtime.decode_drops() == 5u; }));
+  runtime.stop();
 }
 
 TEST(UdpTransportTest, GossipGroupOverRealSockets) {

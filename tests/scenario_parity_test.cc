@@ -104,6 +104,15 @@ const std::map<std::string, ParityBounds>& parity_bounds() {
       // into the same p_local band (see the adaptive block there).
       {"adaptive-wan", {65.0, 0.45, 0.0, {"n=15"}}},
       {"adaptive-backpressure", {60.0, -1.0, -1.0, {"initial_rate=2"}}},
+      // The fault-injection presets: chaos-soak mutates datagrams mid-run
+      // (the whole-window average absorbs the burst, hence the low floor),
+      // asymmetric-partition mutes one direction of two links under
+      // gossiped liveness, gray-failure stalls and clock-skews nodes that
+      // must stay up. assert_invariants adds the chaos receipts and the
+      // post-window self-healing floor for these.
+      {"chaos-soak", {55.0, -1.0, -1.0, {}}},
+      {"asymmetric-partition", {60.0, -1.0, -1.0, {}}},
+      {"gray-failure", {70.0, -1.0, -1.0, {}}},
   };
   return bounds;
 }
@@ -191,6 +200,59 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
     EXPECT_GT(r.wc.fabric_dropped_down, 0u);
   }
 
+  // Fault-plane receipts and self-healing. A preset with a chaos schedule
+  // must show the faults actually fired (the injected kinds' counters
+  // moved on every path where the kind is live) and that the group healed:
+  // delivery over the window starting kChaosRecoveryRounds after the last
+  // fault window closes is back above the preset floor on BOTH paths. A
+  // preset without one must stay spotless — the null-plane path cannot
+  // corrupt, so any decode drop on a clean run is a codec regression.
+  if (!params.chaos.empty()) {
+    if (params.chaos.corrupts()) {
+      // Corruption/truncation reached live decoders and was dropped there
+      // without crashing either harness (finishing the run IS the
+      // no-crash receipt).
+      EXPECT_GT(r.sim.chaos.mutations(), 0u);
+      EXPECT_GT(r.wc.chaos.mutations(), 0u);
+      EXPECT_GT(r.sim.decode_failures, 0u);
+      EXPECT_GT(r.wc.decode_drops, 0u);
+    }
+    if (params.chaos.asymmetric()) {
+      // One-way rules really dropped datagrams (fabric-side counters on
+      // both paths) and the suspicion plane noticed the silence; the
+      // membership band below is the re-convergence receipt.
+      EXPECT_GT(r.sim.net.dropped_chaos, 0u);
+      EXPECT_GT(r.wc.dropped_chaos, 0u);
+      EXPECT_GT(r.sim.chaos.dropped_oneway, 0u);
+      EXPECT_GT(r.wc.chaos.dropped_oneway, 0u);
+      EXPECT_GT(r.sim.membership_transitions.suspicions, 0u);
+      EXPECT_GT(r.wc.membership_transitions.suspicions, 0u);
+    }
+    if (params.chaos.gray()) {
+      // Stalls and skewed clock reads are wall-clock phenomena (the
+      // simulator run doubles as the clean control); the membership
+      // contract is the point: slow-but-up nodes never earn a down
+      // verdict on either path.
+      EXPECT_GT(r.wc.chaos.stalls, 0u);
+      EXPECT_GT(r.wc.chaos.skew_reads, 0u);
+      EXPECT_EQ(r.sim.membership_transitions.downs, 0u);
+      EXPECT_EQ(r.wc.membership_transitions.downs, 0u);
+    }
+    ASSERT_TRUE(r.sim.post_chaos_delivery.has_value());
+    ASSERT_TRUE(r.wc.post_chaos_delivery.has_value());
+    EXPECT_GT(r.sim.post_chaos_delivery->messages, 0u);
+    EXPECT_GT(r.wc.post_chaos_delivery->messages, 0u);
+    EXPECT_GE(r.sim.post_chaos_delivery->avg_receiver_pct,
+              bounds.min_receiver_pct);
+    EXPECT_GE(r.wc.post_chaos_delivery->avg_receiver_pct,
+              bounds.min_receiver_pct);
+  } else {
+    EXPECT_EQ(r.sim.chaos.mutations(), 0u);
+    EXPECT_EQ(r.wc.chaos.mutations(), 0u);
+    EXPECT_EQ(r.sim.decode_failures, 0u);
+    EXPECT_EQ(r.wc.decode_drops, 0u);
+  }
+
   // Membership after the run. Full-membership groups end at n-1 on both
   // paths — churned nodes were re-added on recovery (the failure-detector
   // path), or never left the views at all. Partial views stay bounded.
@@ -241,7 +303,7 @@ TEST(ScenarioParityTest, EveryRegistryPresetRunsOnBothPaths) {
   // preset cannot silently dodge the conformance contract, and the known
   // catalogue cannot shrink unnoticed.
   EXPECT_EQ(covered.size(), registry.presets().size());
-  EXPECT_GE(covered.size(), 19u);
+  EXPECT_GE(covered.size(), 22u);
 }
 
 TEST(ScenarioParityTest, PartialViewGroupsAgreeOnBothPaths) {

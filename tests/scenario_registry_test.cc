@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 #include <string>
 
 namespace agb::core {
@@ -25,10 +26,11 @@ TEST(ScenarioRegistryTest, ShipsTheDocumentedPresets) {
   for (const char* name :
        {"paper60", "fig2", "fig4", "fig6", "fig7", "fig8", "fig9", "churn",
         "burst-loss", "wan-clusters", "wan-directional",
-        "wan-directional-churn", "semantic-streams"}) {
+        "wan-directional-churn", "semantic-streams", "chaos-soak",
+        "asymmetric-partition", "gray-failure"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
-  EXPECT_GE(registry.presets().size(), 13u);
+  EXPECT_GE(registry.presets().size(), 16u);
   EXPECT_EQ(registry.find("no-such-preset"), nullptr);
   EXPECT_THROW((void)registry.build("no-such-preset", Config{}),
                std::invalid_argument);
@@ -261,6 +263,72 @@ TEST(SpecParserTest, ScheduleSpecs) {
   EXPECT_FALSE(failures[0].up);
   EXPECT_TRUE(failures[1].up);
   EXPECT_FALSE(parse_failure_spec("60000:3:sideways", &failures));
+}
+
+TEST(SpecParserTest, ChaosSpecs) {
+  fault::ChaosSchedule s;
+  ASSERT_TRUE(parse_chaos_spec("corrupt:0.05@5s-15s", &s));
+  ASSERT_EQ(s.rules.size(), 1u);
+  EXPECT_EQ(s.rules[0].kind, fault::FaultKind::kCorrupt);
+  EXPECT_DOUBLE_EQ(s.rules[0].rate, 0.05);
+  EXPECT_EQ(s.rules[0].start, 5'000);
+  EXPECT_EQ(s.rules[0].end, 15'000);
+
+  // The trailing 's' is optional, windows are optional (open-ended), and
+  // rules combine with commas.
+  ASSERT_TRUE(parse_chaos_spec(
+      "truncate:0.1@2-4,dup:0.2,reorder:0.3:40,oneway:3:*,oneway:1:2,"
+      "stall:4:25@1s-3s,skew:5:100",
+      &s));
+  ASSERT_EQ(s.rules.size(), 7u);
+  EXPECT_EQ(s.rules[0].end, 4'000);
+  EXPECT_EQ(s.rules[1].end, fault::kNoEnd);
+  EXPECT_EQ(s.rules[2].amount, 40);
+  EXPECT_EQ(s.rules[3].a, 3u);
+  EXPECT_EQ(s.rules[3].b, fault::kAnyNode);
+  EXPECT_EQ(s.rules[4].b, 2u);
+  EXPECT_EQ(s.rules[5].amount, 25);
+  EXPECT_EQ(s.rules[5].start, 1'000);
+  EXPECT_EQ(s.rules[6].kind, fault::FaultKind::kSkew);
+  EXPECT_TRUE(s.corrupts());
+  EXPECT_TRUE(s.asymmetric());
+  EXPECT_TRUE(s.gray());
+
+  for (const char* bad :
+       {"", "corupt:0.1", "corrupt", "corrupt:2.0", "corrupt:-0.1",
+        "corrupt:x", "oneway:3", "stall:3", "stall:3:-5",
+        "corrupt:0.1@5s-2s", "corrupt:0.1@5s", "dup:0.1,oops"}) {
+    EXPECT_FALSE(parse_chaos_spec(bad, &s)) << bad;
+  }
+}
+
+TEST(SpecParserTest, BadChaosSpecMessageSuggestsTheNearestKind) {
+  // The agb_sim exit-2 contract: a typo'd kind earns a correction naming
+  // the bad spec, the nearest kind and the grammar.
+  const std::string msg = bad_chaos_spec_message("corupt:0.1");
+  EXPECT_NE(msg.find("corupt:0.1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("did you mean: corrupt?"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("oneway:a:b|*"), std::string::npos) << msg;
+  // A kind nothing is close to gets the grammar but no bogus suggestion.
+  EXPECT_EQ(bad_chaos_spec_message("zzzzzzzz:1").find("did you mean"),
+            std::string::npos);
+}
+
+TEST(SpecParserTest, ChaosKeyBuildsTheSchedule) {
+  auto cfg = config_of({"quick=1", "chaos=corrupt:0.1@1s-2s,oneway:3:*"});
+  auto p = ScenarioRegistry::instance().build("paper60", cfg);
+  ASSERT_EQ(p.chaos.rules.size(), 2u);
+  EXPECT_TRUE(p.chaos.corrupts());
+  EXPECT_TRUE(p.chaos.asymmetric());
+
+  // A malformed value throws exactly the bad_chaos_spec_message text.
+  auto bad = config_of({"quick=1", "chaos=corupt:0.1"});
+  try {
+    (void)ScenarioRegistry::instance().build("paper60", bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(e.what(), bad_chaos_spec_message("corupt:0.1"));
+  }
 }
 
 TEST(SpecParserTest, SweepSpecs) {

@@ -38,6 +38,13 @@
 //   membership_budget(256) migrate_on_rejoin(0)
 //   loss=p (iid) | burst:pgood:pbad:pgb:pbg                 (0)
 //   capacity=at_ms:frac:cap[,...]     failures=at_ms:node:up|down[,...]
+//   chaos=rule[,rule...]   deterministic fault injection (fault::FaultPlane)
+//       rule = kind:args[@start[s]-end[s]]  (window in seconds, absolute)
+//       kinds: corrupt:p truncate:p dup:p reorder:p[:ms] oneway:a:b|*
+//              stall:node:ms skew:node:ms
+//       e.g. chaos=corrupt:0.05@5s-15s,oneway:3:*@5s-15s — malformed specs
+//       exit 2 with a "did you mean" hint; presets chaos-soak /
+//       asymmetric-partition / gray-failure carry calibrated schedules
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
 //   csv=prefix   (writes <prefix>_series.csv)
 //   bench=path.json   (sim fabric: writes a BENCH_sim_scale record —
@@ -45,6 +52,11 @@
 //                      nodes_simulated_per_second, bytes_per_node,
 //                      peak_event_queue_len — for the perf trajectory;
 //                      pair with scenario=scale-1e5 / scale-1e6.
+//                      with chaos active it writes a BENCH_chaos record
+//                      instead — recovery-rounds p50/p99 (post-fault
+//                      latency over the gossip period), post-chaos
+//                      receiver %, injection + decode-drop counters; pair
+//                      with scenario=chaos-soak.
 //                      inmemory fabric: writes a BENCH_backpressure record —
 //                      pending-queue depth p50/p90/p99/max, avg p_local,
 //                      avg effective fanout; pair with
@@ -212,6 +224,33 @@ int run_wallclock(const agb::core::ScenarioParams& p,
   std::printf("drops            : overflow %llu   age-limit %llu\n",
               static_cast<unsigned long long>(r.overflow_drops),
               static_cast<unsigned long long>(r.age_limit_drops));
+  if (!p.chaos.empty()) {
+    std::printf("chaos            : %llu corrupted, %llu truncated, %llu "
+                "duplicated, %llu reordered, %llu oneway-dropped, %llu "
+                "stalls, %llu skewed clock reads\n",
+                static_cast<unsigned long long>(r.chaos.corrupted),
+                static_cast<unsigned long long>(r.chaos.truncated),
+                static_cast<unsigned long long>(r.chaos.duplicated),
+                static_cast<unsigned long long>(r.chaos.reordered),
+                static_cast<unsigned long long>(r.chaos.dropped_oneway),
+                static_cast<unsigned long long>(r.chaos.stalls),
+                static_cast<unsigned long long>(r.chaos.skew_reads));
+    std::printf("chaos receipts   : %llu decode drops, membership %llu "
+                "suspicions / %llu downs / %llu revivals\n",
+                static_cast<unsigned long long>(r.decode_drops),
+                static_cast<unsigned long long>(
+                    r.membership_transitions.suspicions),
+                static_cast<unsigned long long>(
+                    r.membership_transitions.downs),
+                static_cast<unsigned long long>(
+                    r.membership_transitions.revivals));
+    if (r.post_chaos_delivery) {
+      std::printf("post-chaos       : avg receivers %.2f%%   atomic %.2f%% "
+                  "over the recovery window\n",
+                  r.post_chaos_delivery->avg_receiver_pct,
+                  r.post_chaos_delivery->atomicity_pct);
+    }
+  }
   if (p.network.clusters > 1) {
     const std::uint64_t sent = r.sent_intra_cluster + r.sent_cross_cluster;
     const double cross_pct =
@@ -242,7 +281,54 @@ int run_wallclock(const agb::core::ScenarioParams& p,
   for (std::size_t depth : r.shard_depths) std::printf(" %zu", depth);
   std::printf("\n");
 
-  if (!bench_path.empty()) {
+  if (!bench_path.empty() && !p.chaos.empty()) {
+    // Chaos bench, wall-clock flavour: the same record the sim path
+    // writes — healing speed in gossip rounds over the post-fault window.
+    const double period = static_cast<double>(p.gossip.gossip_period);
+    const double p50_rounds =
+        r.post_chaos_delivery ? r.post_chaos_delivery->latency_p50_ms / period
+                              : -1.0;
+    const double p99_rounds =
+        r.post_chaos_delivery ? r.post_chaos_delivery->latency_p99_ms / period
+                              : -1.0;
+    std::ofstream out(bench_path);
+    if (!out) {
+      std::fprintf(stderr, "agb_sim: cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+    char record[640];
+    std::snprintf(
+        record, sizeof(record),
+        "{\n"
+        "  \"bench\": \"chaos\",\n"
+        "  \"preset\": \"%s\",\n"
+        "  \"n\": %zu,\n"
+        "  \"seed\": %llu,\n"
+        "  \"mutations\": %llu,\n"
+        "  \"duplicated\": %llu,\n"
+        "  \"reordered\": %llu,\n"
+        "  \"dropped_oneway\": %llu,\n"
+        "  \"decode_drops\": %llu,\n"
+        "  \"recovery_rounds_p50\": %.2f,\n"
+        "  \"recovery_rounds_p99\": %.2f,\n"
+        "  \"post_chaos_avg_receiver_pct\": %.2f\n"
+        "}\n",
+        preset.name.c_str(), p.n, static_cast<unsigned long long>(p.seed),
+        static_cast<unsigned long long>(r.chaos.mutations()),
+        static_cast<unsigned long long>(r.chaos.duplicated),
+        static_cast<unsigned long long>(r.chaos.reordered),
+        static_cast<unsigned long long>(r.chaos.dropped_oneway),
+        static_cast<unsigned long long>(r.decode_drops), p50_rounds,
+        p99_rounds,
+        r.post_chaos_delivery ? r.post_chaos_delivery->avg_receiver_pct
+                              : -1.0);
+    out << record;
+    std::printf("bench record     : %s (recovery rounds p50 %.2f / p99 "
+                "%.2f, post-chaos receivers %.2f%%)\n",
+                bench_path.c_str(), p50_rounds, p99_rounds,
+                r.post_chaos_delivery ? r.post_chaos_delivery->avg_receiver_pct
+                                      : -1.0);
+  } else if (!bench_path.empty()) {
     std::ofstream out(bench_path);
     if (!out) {
       std::fprintf(stderr, "agb_sim: cannot write %s\n", bench_path.c_str());
@@ -451,8 +537,86 @@ int main(int argc, char** argv) {
                 cross_pct,
                 p.locality.enabled ? ", locality-biased" : "");
   }
+  if (!p.chaos.empty()) {
+    std::printf("chaos            : %llu corrupted, %llu truncated, %llu "
+                "duplicated, %llu reordered, %llu oneway-dropped; decode "
+                "drops %llu\n",
+                static_cast<unsigned long long>(r.chaos.corrupted),
+                static_cast<unsigned long long>(r.chaos.truncated),
+                static_cast<unsigned long long>(r.chaos.duplicated),
+                static_cast<unsigned long long>(r.chaos.reordered),
+                static_cast<unsigned long long>(r.chaos.dropped_oneway),
+                static_cast<unsigned long long>(r.decode_failures));
+    if (p.gossip_membership) {
+      std::printf("membership chaos : %llu suspicions / %llu downs / %llu "
+                  "revivals\n",
+                  static_cast<unsigned long long>(
+                      r.membership_transitions.suspicions),
+                  static_cast<unsigned long long>(
+                      r.membership_transitions.downs),
+                  static_cast<unsigned long long>(
+                      r.membership_transitions.revivals));
+    }
+    if (r.post_chaos_delivery) {
+      std::printf("post-chaos       : avg receivers %.2f%%   atomic %.2f%% "
+                  "over the recovery window\n",
+                  r.post_chaos_delivery->avg_receiver_pct,
+                  r.post_chaos_delivery->atomicity_pct);
+    }
+  }
 
-  if (!bench_path.empty()) {
+  if (!bench_path.empty() && !p.chaos.empty()) {
+    // Chaos bench: how fast did the group heal? Latency percentiles over
+    // the post-fault window, expressed in gossip rounds — the
+    // recovery-rounds baseline the CI artifact tracks.
+    const double period = static_cast<double>(p.gossip.gossip_period);
+    const double p50_rounds =
+        r.post_chaos_delivery
+            ? r.post_chaos_delivery->latency_p50_ms / period
+            : -1.0;
+    const double p99_rounds =
+        r.post_chaos_delivery
+            ? r.post_chaos_delivery->latency_p99_ms / period
+            : -1.0;
+    std::ofstream out(bench_path);
+    if (!out) {
+      std::fprintf(stderr, "agb_sim: cannot write %s\n", bench_path.c_str());
+      return 1;
+    }
+    char record[640];
+    std::snprintf(
+        record, sizeof(record),
+        "{\n"
+        "  \"bench\": \"chaos\",\n"
+        "  \"preset\": \"%s\",\n"
+        "  \"n\": %zu,\n"
+        "  \"seed\": %llu,\n"
+        "  \"mutations\": %llu,\n"
+        "  \"duplicated\": %llu,\n"
+        "  \"reordered\": %llu,\n"
+        "  \"dropped_oneway\": %llu,\n"
+        "  \"decode_drops\": %llu,\n"
+        "  \"recovery_rounds_p50\": %.2f,\n"
+        "  \"recovery_rounds_p99\": %.2f,\n"
+        "  \"post_chaos_avg_receiver_pct\": %.2f\n"
+        "}\n",
+        preset->name.c_str(), p.n,
+        static_cast<unsigned long long>(p.seed),
+        static_cast<unsigned long long>(r.chaos.mutations()),
+        static_cast<unsigned long long>(r.chaos.duplicated),
+        static_cast<unsigned long long>(r.chaos.reordered),
+        static_cast<unsigned long long>(r.chaos.dropped_oneway),
+        static_cast<unsigned long long>(r.decode_failures),
+        p50_rounds, p99_rounds,
+        r.post_chaos_delivery ? r.post_chaos_delivery->avg_receiver_pct
+                              : -1.0);
+    out << record;
+    std::printf("bench record     : %s (recovery rounds p50 %.2f / p99 "
+                "%.2f, post-chaos receivers %.2f%%)\n",
+                bench_path.c_str(), p50_rounds, p99_rounds,
+                r.post_chaos_delivery ? r.post_chaos_delivery->avg_receiver_pct
+                                      : -1.0);
+  } else if (!bench_path.empty()) {
     struct rusage usage {};
     getrusage(RUSAGE_SELF, &usage);
     const double sim_seconds =
