@@ -18,6 +18,7 @@
 #include "adaptive/minbuff_estimator.h"
 #include "common/rng.h"
 #include "core/scenario.h"
+#include "core/sharded_scenario.h"
 #include "gossip/event_buffer.h"
 #include "gossip/message.h"
 #include "membership/cluster_map.h"
@@ -684,6 +685,46 @@ BENCHMARK(BM_ScenarioRoundTick)
     ->Args({1'000, 1})
     ->Args({10'000, 1})
     ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The same partial-view workload on the sharded engine: arg0 is n, arg1 the
+// shard count (workers = shards). The {n, 1} point prices the sharded
+// harness's fixed overhead against BM_ScenarioRoundTick {n, 1} above
+// (window barriers + canonical sorts on one core); the 2/4/8 points are the
+// scaling curve — flat on a single-core runner, and the multi-core speedup
+// the BENCH_sim_scale acceptance gate tracks elsewhere.
+void BM_ShardedRoundTick(benchmark::State& state) {
+  constexpr TimeMs kPeriod = 1'000;
+  constexpr std::size_t kRounds = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ScenarioParams p;
+    p.n = static_cast<std::size_t>(state.range(0));
+    p.senders = 8;
+    p.offered_rate = 10.0;
+    p.partial_view = true;
+    p.gossip.gossip_period = kPeriod;
+    p.warmup = 0;
+    p.duration = kPeriod * kRounds;
+    p.cooldown = 0;
+    p.sim_shards = static_cast<std::size_t>(state.range(1));
+    p.sim_workers = static_cast<std::size_t>(state.range(1));
+    core::ShardedScenario s(std::move(p));
+    state.ResumeTiming();
+    auto r = s.run();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) *
+                          static_cast<std::int64_t>(kRounds) * kPeriod /
+                          1'000);
+}
+BENCHMARK(BM_ShardedRoundTick)
+    ->Args({10'000, 1})
+    ->Args({10'000, 2})
+    ->Args({10'000, 4})
+    ->Args({10'000, 8})
+    ->Args({100'000, 4})
     ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatedSecond(benchmark::State& state) {

@@ -137,6 +137,17 @@ struct ScenarioParams {
   /// (models application back-pressure on the paper's blocking BROADCAST).
   std::size_t pending_cap = 64;
 
+  /// Sharded-engine knobs (core::ShardedScenario; the classic Scenario
+  /// ignores them). sim_shards is rounded up to a power of two; the agb_sim
+  /// driver routes sim_shards <= 1 to the classic engine, so existing seeds
+  /// keep their golden traces. sim_workers = 0 means min(shards, hardware
+  /// concurrency); worker count never changes outcomes. lookahead_ms = 0
+  /// derives the conservative window from the latency models (>= 1 ms);
+  /// setting it higher coarsens the delay floor to that many ms.
+  std::size_t sim_shards = 1;
+  std::size_t sim_workers = 0;
+  DurationMs lookahead_ms = 0;
+
   /// Granularity of the recorded time series (Fig. 9).
   DurationMs series_bucket = 5'000;
 };

@@ -681,6 +681,11 @@ ScenarioParams params_from_config(const Config& cfg, ScenarioParams base) {
       cfg.get_int("pending_cap", static_cast<std::int64_t>(p.pending_cap)));
   p.seed = static_cast<std::uint64_t>(
       cfg.get_int("seed", static_cast<std::int64_t>(p.seed)));
+  p.sim_shards = static_cast<std::size_t>(
+      cfg.get_int("sim_shards", static_cast<std::int64_t>(p.sim_shards)));
+  p.sim_workers = static_cast<std::size_t>(
+      cfg.get_int("sim_workers", static_cast<std::int64_t>(p.sim_workers)));
+  p.lookahead_ms = cfg.get_int("lookahead_ms", p.lookahead_ms);
 
   p.gossip.fanout = static_cast<std::size_t>(
       cfg.get_int("fanout", static_cast<std::int64_t>(p.gossip.fanout)));

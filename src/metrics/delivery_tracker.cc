@@ -120,4 +120,26 @@ double DeliveryTracker::receiver_fraction(const EventId& id) const {
          static_cast<double>(group_size_);
 }
 
+std::vector<std::uint64_t> DeliveryTracker::per_node_fingerprints() const {
+  std::vector<std::uint64_t> fingerprints(group_size_, 0x5ba7f00dull);
+  for (const auto& [id, rec] : records_) {
+    // splitmix64-style avalanche over the event identity; XOR-combined per
+    // node so iteration order (an unordered_map's) cannot leak into the
+    // result.
+    std::uint64_t h = (static_cast<std::uint64_t>(id.origin) << 32) ^
+                      id.sequence ^
+                      (static_cast<std::uint64_t>(rec.created_at) *
+                       0x9e3779b97f4a7c15ull);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    for (std::size_t node = 0; node < rec.seen.size(); ++node) {
+      if (rec.seen[node]) fingerprints[node] ^= h;
+    }
+  }
+  return fingerprints;
+}
+
 }  // namespace agb::metrics

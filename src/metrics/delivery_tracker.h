@@ -58,6 +58,15 @@ class DeliveryTracker {
   /// Receiver fraction of one message (for tests); 0 if unknown.
   [[nodiscard]] double receiver_fraction(const EventId& id) const;
 
+  /// One 64-bit fingerprint per node over its delivered-event *set*:
+  /// XOR of a per-(event, created_at) hash across every event the node saw.
+  /// Commutative by construction, so the value is independent of delivery
+  /// order and of the tracker's internal map order — two runs delivered the
+  /// same events to the same nodes iff the vectors match (modulo hash
+  /// collisions). The sharded determinism suite compares these across
+  /// engines, shard counts and worker counts.
+  [[nodiscard]] std::vector<std::uint64_t> per_node_fingerprints() const;
+
   [[nodiscard]] std::size_t group_size() const noexcept { return group_size_; }
 
  private:

@@ -1,0 +1,101 @@
+// Cross-shard datagram exchange for the sharded simulator.
+//
+// Under conservative time-window synchronization every shard runs the window
+// [T, T+L) against its private event queue, and every datagram it emits —
+// cross-shard *and* same-shard — is pushed into a ShardChannel instead of
+// being scheduled directly. The channels are drained in the serial barrier
+// phase that ends the window, where the whole batch is put into one
+// canonical order before any of it is turned back into simulator events.
+// That canonical order, not thread arrival order, is what makes scenario
+// outcomes independent of shard count and worker count.
+//
+// Each channel is single-producer (the worker executing the producing
+// shard's window) / single-consumer (the serial barrier phase); the window
+// barrier is the only synchronization it needs. drain() enforces the two
+// invariants the engine's correctness rests on, every pop:
+//   * the lookahead horizon: no datagram may be timestamped inside the
+//     window that produced it (senders clamp delay to >= L, so everything
+//     lands at or after the window barrier that schedules it);
+//   * per-sender FIFO: a sender's send sequence numbers arrive strictly
+//     increasing, which implies per-(sender, receiver) FIFO and gives the
+//     canonical sort a total, run-invariant tie-break.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/shared_bytes.h"
+#include "common/types.h"
+
+namespace agb::sim {
+
+/// One datagram crossing a window barrier: absolute delivery time, the
+/// (sender, send-sequence) pair that makes its identity unique and
+/// canonically sortable, and the shared payload bytes.
+struct CrossShardDatagram {
+  TimeMs at = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  /// Per-sender monotone send counter (one tick per emitted copy, including
+  /// fault-plane duplicates), so (from, seq) is unique run-wide.
+  std::uint64_t seq = 0;
+  SharedBytes payload;
+};
+
+/// The canonical delivery order: (deliver time, sender, send seq, receiver).
+/// Total (no two datagrams share (from, seq)), and independent of which
+/// shard/worker produced the entries — the determinism suite's bedrock.
+[[nodiscard]] inline bool canonical_before(const CrossShardDatagram& a,
+                                           const CrossShardDatagram& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.from != b.from) return a.from < b.from;
+  if (a.seq != b.seq) return a.seq < b.seq;
+  return a.to < b.to;
+}
+
+class ShardChannel {
+ public:
+  /// Producer side (window execution). Appends in emission order.
+  void push(CrossShardDatagram d) { buffer_.push_back(std::move(d)); }
+
+  /// Consumer side (serial barrier phase). Moves everything into `out`,
+  /// validating the lookahead horizon and per-sender FIFO on every entry;
+  /// throws std::logic_error on a violation (an engine bug, never a
+  /// recoverable condition). `horizon` is the closing window's end: every
+  /// datagram produced inside [T, horizon) must deliver at >= horizon.
+  void drain(TimeMs horizon, std::vector<CrossShardDatagram>& out) {
+    for (CrossShardDatagram& d : buffer_) {
+      if (d.at < horizon) {
+        throw std::logic_error(
+            "ShardChannel: datagram below the lookahead horizon (at=" +
+            std::to_string(d.at) + " < " + std::to_string(horizon) + ")");
+      }
+      auto [it, inserted] = last_seq_.try_emplace(d.from, d.seq);
+      if (!inserted) {
+        if (d.seq <= it->second) {
+          throw std::logic_error(
+              "ShardChannel: per-sender FIFO violated (from=" +
+              std::to_string(d.from) + " seq=" + std::to_string(d.seq) +
+              " after seq=" + std::to_string(it->second) + ")");
+        }
+        it->second = d.seq;
+      }
+      out.push_back(std::move(d));
+    }
+    buffer_.clear();
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<CrossShardDatagram> buffer_;
+  /// Highest send sequence seen per sender, across the channel's lifetime —
+  /// the FIFO witness spans windows, not just one drain.
+  std::unordered_map<NodeId, std::uint64_t> last_seq_;
+};
+
+}  // namespace agb::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -46,6 +47,13 @@ class Simulator {
   void stop() noexcept { stopped_ = true; }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event, or nullopt when the queue is
+  /// empty. The sharded engine's serial phase reads this across all shards
+  /// to pick the next conservative window.
+  [[nodiscard]] std::optional<TimeMs> next_event_time() {
+    return queue_.peek_time();
+  }
 
   /// High-water mark of pending_events() over the run (capacity receipt for
   /// the scale presets).

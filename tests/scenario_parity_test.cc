@@ -1,8 +1,9 @@
-// Scenario conformance: every ScenarioRegistry preset runs through BOTH
-// execution paths — the discrete-event simulator (core::Scenario) and real
-// NodeRuntime threads over the sharded InMemoryFabric
+// Scenario conformance: every ScenarioRegistry preset runs through THREE
+// execution paths — the discrete-event simulator (core::Scenario), the
+// multi-core sharded simulator at sim_shards=4 (core::ShardedScenario) and
+// real NodeRuntime threads over the sharded InMemoryFabric
 // (core::WallclockScenario) — from the same seed on a scaled-down group,
-// and the two paths must agree on the preset's invariants: delivery-ratio
+// and the paths must agree on the preset's invariants: delivery-ratio
 // floors, the WAN intra/cross traffic split (locality bias must actually
 // bias on real threads), failure-schedule suppression (down nodes really
 // drop traffic) and membership sizes after churn. Wall-clock timing is not
@@ -25,6 +26,7 @@
 #include "common/config.h"
 #include "core/scenario.h"
 #include "core/scenario_registry.h"
+#include "core/sharded_scenario.h"
 #include "core/wallclock_scenario.h"
 
 namespace agb::core {
@@ -120,6 +122,11 @@ const std::map<std::string, ParityBounds>& parity_bounds() {
 struct PairResults {
   ScenarioResults sim;
   std::vector<std::size_t> sim_memberships;
+  /// Third column: the same preset on the multi-core sharded simulator at
+  /// sim_shards=4 — every invariant asserted on the classic sim column is
+  /// asserted here too, so a preset cannot regress only on the sharded
+  /// engine.
+  ShardedScenarioResults sharded;
   WallclockResults wc;
 };
 
@@ -132,6 +139,12 @@ PairResults run_pair(const std::string& name, const Config& cfg) {
     for (const auto& node : scenario.nodes()) {
       out.sim_memberships.push_back(node->membership().size());
     }
+  }
+  {
+    ScenarioParams sharded_params = params;
+    sharded_params.sim_shards = 4;
+    ShardedScenario scenario(sharded_params);
+    out.sharded = scenario.run();
   }
   WallclockScenario wallclock(params, WallclockOptions{.shards = 4});
   out.wc = wallclock.run();
@@ -146,10 +159,14 @@ double cross_share(std::uint64_t intra, std::uint64_t cross) {
 
 void assert_invariants(const ScenarioParams& params, const PairResults& r,
                        const ParityBounds& bounds) {
-  // Both paths evaluated real traffic and met the preset's delivery floor.
+  const ScenarioResults& sh = r.sharded.base;
+
+  // All paths evaluated real traffic and met the preset's delivery floor.
   EXPECT_GT(r.sim.delivery.messages, 0u);
+  EXPECT_GT(sh.delivery.messages, 0u);
   EXPECT_GT(r.wc.delivery.messages, 0u);
   EXPECT_GE(r.sim.delivery.avg_receiver_pct, bounds.min_receiver_pct);
+  EXPECT_GE(sh.delivery.avg_receiver_pct, bounds.min_receiver_pct);
   EXPECT_GE(r.wc.delivery.avg_receiver_pct, bounds.min_receiver_pct);
 
   // WAN topology: both paths split traffic by the same cluster rule, and
@@ -159,16 +176,22 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
                                          r.sim.net.sent_cross_cluster);
     const double wc_share =
         cross_share(r.wc.sent_intra_cluster, r.wc.sent_cross_cluster);
+    const double sharded_share =
+        cross_share(sh.net.sent_intra_cluster, sh.net.sent_cross_cluster);
     EXPECT_GT(r.sim.net.sent_intra_cluster, 0u);
+    EXPECT_GT(sh.net.sent_intra_cluster, 0u);
     EXPECT_GT(r.wc.sent_intra_cluster, 0u);
     EXPECT_GT(r.sim.net.sent_cross_cluster, 0u);
+    EXPECT_GT(sh.net.sent_cross_cluster, 0u);
     EXPECT_GT(r.wc.sent_cross_cluster, 0u);
     if (bounds.max_cross_share >= 0.0) {
       EXPECT_LE(sim_share, bounds.max_cross_share);
+      EXPECT_LE(sharded_share, bounds.max_cross_share);
       EXPECT_LE(wc_share, bounds.max_cross_share);
     }
     if (bounds.min_cross_share >= 0.0) {
       EXPECT_GE(sim_share, bounds.min_cross_share);
+      EXPECT_GE(sharded_share, bounds.min_cross_share);
       EXPECT_GE(wc_share, bounds.min_cross_share);
     }
   }
@@ -181,15 +204,20 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
   if (params.adaptive && params.adaptation.control.enabled) {
     const auto& control = params.adaptation.control;
     EXPECT_LE(r.sim.max_pending_depth, params.pending_cap);
+    EXPECT_LE(sh.max_pending_depth, params.pending_cap);
     EXPECT_LE(r.wc.max_pending_depth, params.pending_cap);
     EXPECT_GE(r.sim.avg_effective_fanout, 1.0);
+    EXPECT_GE(sh.avg_effective_fanout, 1.0);
     EXPECT_GE(r.wc.avg_effective_fanout, 1.0);
     if (params.locality.enabled) {
       EXPECT_GE(r.sim.avg_p_local, control.p_local_min);
       EXPECT_LE(r.sim.avg_p_local, control.p_local_max);
+      EXPECT_GE(sh.avg_p_local, control.p_local_min);
+      EXPECT_LE(sh.avg_p_local, control.p_local_max);
       EXPECT_GE(r.wc.avg_p_local, control.p_local_min);
       EXPECT_LE(r.wc.avg_p_local, control.p_local_max);
       EXPECT_NEAR(r.sim.avg_p_local, r.wc.avg_p_local, 0.35);
+      EXPECT_NEAR(r.sim.avg_p_local, sh.avg_p_local, 0.35);
     }
   }
 
@@ -197,6 +225,7 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
   // both paths (the wall-clock scheduler thread really detached them).
   if (!params.failure_schedule.empty()) {
     EXPECT_GT(r.sim.net.dropped_down, 0u);
+    EXPECT_GT(sh.net.dropped_down, 0u);
     EXPECT_GT(r.wc.fabric_dropped_down, 0u);
   }
 
@@ -213,8 +242,10 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
       // without crashing either harness (finishing the run IS the
       // no-crash receipt).
       EXPECT_GT(r.sim.chaos.mutations(), 0u);
+      EXPECT_GT(sh.chaos.mutations(), 0u);
       EXPECT_GT(r.wc.chaos.mutations(), 0u);
       EXPECT_GT(r.sim.decode_failures, 0u);
+      EXPECT_GT(sh.decode_failures, 0u);
       EXPECT_GT(r.wc.decode_drops, 0u);
     }
     if (params.chaos.asymmetric()) {
@@ -222,41 +253,52 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
       // both paths) and the suspicion plane noticed the silence; the
       // membership band below is the re-convergence receipt.
       EXPECT_GT(r.sim.net.dropped_chaos, 0u);
+      EXPECT_GT(sh.net.dropped_chaos, 0u);
       EXPECT_GT(r.wc.dropped_chaos, 0u);
       EXPECT_GT(r.sim.chaos.dropped_oneway, 0u);
+      EXPECT_GT(sh.chaos.dropped_oneway, 0u);
       EXPECT_GT(r.wc.chaos.dropped_oneway, 0u);
       EXPECT_GT(r.sim.membership_transitions.suspicions, 0u);
+      EXPECT_GT(sh.membership_transitions.suspicions, 0u);
       EXPECT_GT(r.wc.membership_transitions.suspicions, 0u);
     }
     if (params.chaos.gray()) {
       // Stalls and skewed clock reads are wall-clock phenomena (the
-      // simulator run doubles as the clean control); the membership
+      // simulator runs double as the clean control); the membership
       // contract is the point: slow-but-up nodes never earn a down
-      // verdict on either path.
+      // verdict on any path.
       EXPECT_GT(r.wc.chaos.stalls, 0u);
       EXPECT_GT(r.wc.chaos.skew_reads, 0u);
       EXPECT_EQ(r.sim.membership_transitions.downs, 0u);
+      EXPECT_EQ(sh.membership_transitions.downs, 0u);
       EXPECT_EQ(r.wc.membership_transitions.downs, 0u);
     }
     ASSERT_TRUE(r.sim.post_chaos_delivery.has_value());
+    ASSERT_TRUE(sh.post_chaos_delivery.has_value());
     ASSERT_TRUE(r.wc.post_chaos_delivery.has_value());
     EXPECT_GT(r.sim.post_chaos_delivery->messages, 0u);
+    EXPECT_GT(sh.post_chaos_delivery->messages, 0u);
     EXPECT_GT(r.wc.post_chaos_delivery->messages, 0u);
     EXPECT_GE(r.sim.post_chaos_delivery->avg_receiver_pct,
+              bounds.min_receiver_pct);
+    EXPECT_GE(sh.post_chaos_delivery->avg_receiver_pct,
               bounds.min_receiver_pct);
     EXPECT_GE(r.wc.post_chaos_delivery->avg_receiver_pct,
               bounds.min_receiver_pct);
   } else {
     EXPECT_EQ(r.sim.chaos.mutations(), 0u);
+    EXPECT_EQ(sh.chaos.mutations(), 0u);
     EXPECT_EQ(r.wc.chaos.mutations(), 0u);
     EXPECT_EQ(r.sim.decode_failures, 0u);
+    EXPECT_EQ(sh.decode_failures, 0u);
     EXPECT_EQ(r.wc.decode_drops, 0u);
   }
 
-  // Membership after the run. Full-membership groups end at n-1 on both
-  // paths — churned nodes were re-added on recovery (the failure-detector
+  // Membership after the run. Full-membership groups end at n-1 on every
+  // path — churned nodes were re-added on recovery (the failure-detector
   // path), or never left the views at all. Partial views stay bounded.
   ASSERT_EQ(r.sim_memberships.size(), params.n);
+  ASSERT_EQ(r.sharded.membership_sizes.size(), params.n);
   ASSERT_EQ(r.wc.membership_sizes.size(), params.n);
   for (std::size_t i = 0; i < params.n; ++i) {
     if (params.gossip_membership) {
@@ -266,17 +308,23 @@ void assert_invariants(const ScenarioParams& params, const PairResults& r,
       // re-learned most of the group (no mutual-tombstone isolation).
       EXPECT_GE(r.sim_memberships[i], params.n / 2) << "node " << i;
       EXPECT_LE(r.sim_memberships[i], params.n - 1) << "node " << i;
+      EXPECT_GE(r.sharded.membership_sizes[i], params.n / 2) << "node " << i;
+      EXPECT_LE(r.sharded.membership_sizes[i], params.n - 1) << "node " << i;
       EXPECT_GE(r.wc.membership_sizes[i], params.n / 2) << "node " << i;
       EXPECT_LE(r.wc.membership_sizes[i], params.n - 1) << "node " << i;
     } else if (params.partial_view) {
       EXPECT_GE(r.sim_memberships[i], 1u) << "node " << i;
       EXPECT_LE(r.sim_memberships[i], params.view_params.max_view)
           << "node " << i;
+      EXPECT_GE(r.sharded.membership_sizes[i], 1u) << "node " << i;
+      EXPECT_LE(r.sharded.membership_sizes[i], params.view_params.max_view)
+          << "node " << i;
       EXPECT_GE(r.wc.membership_sizes[i], 1u) << "node " << i;
       EXPECT_LE(r.wc.membership_sizes[i], params.view_params.max_view)
           << "node " << i;
     } else {
       EXPECT_EQ(r.sim_memberships[i], params.n - 1) << "node " << i;
+      EXPECT_EQ(r.sharded.membership_sizes[i], params.n - 1) << "node " << i;
       EXPECT_EQ(r.wc.membership_sizes[i], params.n - 1) << "node " << i;
     }
   }
@@ -299,11 +347,13 @@ TEST(ScenarioParityTest, EveryRegistryPresetRunsOnBothPaths) {
     assert_invariants(params, results, bounds);
     covered.insert(preset->name);
   }
-  // The coverage gate: every registered preset ran on both paths — a new
+  // The coverage gate: every registered preset ran on all three paths —
+  // classic sim, sharded sim (sim_shards=4) and wall-clock — so a new
   // preset cannot silently dodge the conformance contract, and the known
-  // catalogue cannot shrink unnoticed.
+  // catalogue cannot shrink unnoticed. 3 columns x 22+ presets.
   EXPECT_EQ(covered.size(), registry.presets().size());
   EXPECT_GE(covered.size(), 22u);
+  EXPECT_GE(3 * covered.size(), 66u);
 }
 
 TEST(ScenarioParityTest, PartialViewGroupsAgreeOnBothPaths) {

@@ -45,6 +45,15 @@
 //       e.g. chaos=corrupt:0.05@5s-15s,oneway:3:*@5s-15s — malformed specs
 //       exit 2 with a "did you mean" hint; presets chaos-soak /
 //       asymmetric-partition / gray-failure carry calibrated schedules
+//   sim_shards(1) sim_workers(0=auto) lookahead_ms(0=derive)
+//       sim_shards>1 runs the preset on the multi-core sharded simulator
+//       (core::ShardedScenario): per-shard event queues + clocks stepped in
+//       conservative lookahead windows, all deliveries window-batched.
+//       Scenario-visible results are shard- and worker-count invariant;
+//       sim_shards<=1 keeps the classic single-queue engine (byte-identical
+//       golden traces). lookahead_ms overrides the window length derived
+//       from the minimum network delay — raising it coarsens the delay
+//       floor.
 //   warmup_s(40) duration_s(150) cooldown_s(30) bucket_s(5) seed(42)
 //   csv=prefix   (writes <prefix>_series.csv)
 //   bench=path.json   (sim fabric: writes a BENCH_sim_scale record —
@@ -78,6 +87,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -85,6 +95,7 @@
 #include "common/config.h"
 #include "core/scenario.h"
 #include "core/scenario_registry.h"
+#include "core/sharded_scenario.h"
 #include "core/wallclock_scenario.h"
 #include "metrics/table.h"
 #include "metrics/timeseries.h"
@@ -454,6 +465,16 @@ int main(int argc, char** argv) {
                  "the control plane drives p_local at runtime (set "
                  "control_plane=0 to pin it)\n");
   }
+  if (p.sim_shards <= 1) {
+    for (const char* key : {"sim_workers", "lookahead_ms"}) {
+      if (cfg.raw(key)) {
+        std::fprintf(stderr,
+                     "agb_sim: warning: %s= has no effect without "
+                     "sim_shards>1 (the classic single-queue engine runs)\n",
+                     key);
+      }
+    }
+  }
 
   const std::string csv_prefix = cfg.get_string("csv", "");
   const std::string bench_path = cfg.get_string("bench", "");
@@ -466,6 +487,11 @@ int main(int argc, char** argv) {
   }
 
   if (fabric == "inmemory") {
+    if (cfg.raw("sim_shards")) {
+      std::fprintf(stderr,
+                   "agb_sim: warning: sim_shards= has no effect on "
+                   "fabric=inmemory (use shards= for receiver shards)\n");
+    }
     return run_wallclock(p, *preset, shards, bench_path);
   }
   if (fabric != "sim") {
@@ -474,9 +500,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // sim_shards<=1 keeps the classic single-queue engine — its event traces
+  // are the golden fingerprints — while sim_shards>1 dispatches to the
+  // sharded engine, whose scenario-visible results are shard/worker-count
+  // invariant (tests/sharded_sim_test.cc pins that contract).
   const auto wall_start = std::chrono::steady_clock::now();
-  core::Scenario scenario(p);
-  auto r = scenario.run();
+  std::optional<core::Scenario> classic;
+  core::ScenarioResults r;
+  std::size_t run_shards = 1;
+  std::size_t run_workers = 1;
+  std::uint64_t run_windows = 0;
+  if (p.sim_shards > 1) {
+    core::ShardedScenario sharded(p);
+    auto sr = sharded.run();
+    r = std::move(sr.base);
+    run_shards = sr.shards;
+    run_workers = sr.workers;
+    run_windows = sr.windows;
+  } else {
+    classic.emplace(p);
+    r = classic->run();
+  }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -484,6 +528,12 @@ int main(int argc, char** argv) {
 
   std::printf("scenario         : %s (%s)\n", preset->name.c_str(),
               preset->summary.c_str());
+  if (run_shards > 1) {
+    std::printf("engine           : sharded sim, %zu shards, %zu workers, "
+                "%llu windows\n",
+                run_shards, run_workers,
+                static_cast<unsigned long long>(run_windows));
+  }
   std::printf("algorithm        : %s%s\n",
               p.adaptive ? "adaptive" : "lpbcast",
               p.gossip.recovery.enabled ? " + recovery" : "");
@@ -635,34 +685,45 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "agb_sim: cannot write %s\n", bench_path.c_str());
       return 1;
     }
-    char record[512];
+    char record[640];
     std::snprintf(record, sizeof(record),
                   "{\n"
                   "  \"bench\": \"sim_scale\",\n"
                   "  \"preset\": \"%s\",\n"
                   "  \"n\": %zu,\n"
+                  "  \"sim_shards\": %zu,\n"
+                  "  \"sim_workers\": %zu,\n"
+                  "  \"windows\": %llu,\n"
                   "  \"sim_seconds\": %.3f,\n"
                   "  \"wall_seconds\": %.3f,\n"
                   "  \"nodes_simulated_per_second\": %.1f,\n"
                   "  \"bytes_per_node\": %.1f,\n"
                   "  \"peak_event_queue_len\": %zu\n"
                   "}\n",
-                  preset->name.c_str(), p.n, sim_seconds, wall_seconds,
-                  nodes_per_second, bytes_per_node, r.peak_event_queue_len);
+                  preset->name.c_str(), p.n, run_shards, run_workers,
+                  static_cast<unsigned long long>(run_windows), sim_seconds,
+                  wall_seconds, nodes_per_second, bytes_per_node,
+                  r.peak_event_queue_len);
     out << record;
     std::printf("bench record     : %s (%.0f nodes_sim/s, sim %.1f s in "
-                "wall %.2f s, %.0f B/node, peak queue %zu)\n",
+                "wall %.2f s, %zu shards x %zu workers, %.0f B/node, peak "
+                "queue %zu)\n",
                 bench_path.c_str(), nodes_per_second, sim_seconds,
-                wall_seconds, bytes_per_node, r.peak_event_queue_len);
+                wall_seconds, run_shards, run_workers, bytes_per_node,
+                r.peak_event_queue_len);
   }
 
-  if (per_node) {
+  if (per_node && !classic) {
+    std::fprintf(stderr,
+                 "agb_sim: warning: per_node= is not available with "
+                 "sim_shards>1 (node storage is torn down with the run)\n");
+  } else if (per_node) {
     std::printf("\n%-6s %-8s %-10s %-9s %-9s %-9s %-9s\n", "node", "bcasts",
                 "delivered", "dups", "ovf_drop", "age_drop", "minbuff");
-    for (const auto& node : scenario.nodes()) {
+    for (const auto& node : classic->nodes()) {
       const auto& c = node->counters();
       std::uint32_t min_buff = 0;
-      for (const auto* a : scenario.adaptive_nodes()) {
+      for (const auto* a : classic->adaptive_nodes()) {
         if (a->id() == node->id()) min_buff = a->min_buff();
       }
       std::printf("%-6u %-8llu %-10llu %-9llu %-9llu %-9llu %-9u\n",
